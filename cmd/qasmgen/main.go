@@ -1,0 +1,58 @@
+// Command qasmgen emits benchmark circuits as OpenQASM 2.0 for use with
+// other toolchains, or renders them as ASCII diagrams.
+//
+// Usage:
+//
+//	qasmgen -bench qft_8                  # QASM on stdout
+//	qasmgen -bench supremacy_4x4_10 -o supremacy.qasm
+//	qasmgen -bench figure1 -render       # ASCII diagram instead of QASM
+//
+// Benchmarks whose operations have no OpenQASM 2.0 form (Shor's modular
+// arithmetic, Grover's wide multi-controlled oracles) report an error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"weaksim/internal/algo"
+	"weaksim/internal/circuit/qasm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qasmgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		bench  = flag.String("bench", "", "benchmark name to generate")
+		out    = flag.String("o", "", "output file (default stdout)")
+		render = flag.Bool("render", false, "print an ASCII circuit diagram instead of QASM")
+	)
+	flag.Parse()
+	if *bench == "" {
+		return fmt.Errorf("pass -bench <name>")
+	}
+	c, err := algo.Generate(*bench)
+	if err != nil {
+		return err
+	}
+	var text string
+	if *render {
+		text = c.Render()
+	} else {
+		text, err = qasm.Write(c)
+		if err != nil {
+			return err
+		}
+	}
+	if *out == "" {
+		fmt.Print(text)
+		return nil
+	}
+	return os.WriteFile(*out, []byte(text), 0o644)
+}

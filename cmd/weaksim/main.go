@@ -1,0 +1,236 @@
+// Command weaksim runs weak simulation end to end: it builds a benchmark
+// circuit (or reads OpenQASM 2.0), strongly simulates it on the decision-
+// diagram backend, and prints measurement samples — the output a physical
+// quantum computer would produce.
+//
+// Usage:
+//
+//	weaksim -bench qft_16 -shots 20 -seed 7
+//	weaksim -bench shor_33_2 -shots 1000 -top 8
+//	weaksim -qasm circuit.qasm -method prefix -shots 100
+//	weaksim -bench running_example -render -histogram
+//	weaksim -bench qft_20 -shots 100000 -verify      # chi-square self-check
+//	weaksim -bench shor_55_2 -exact-top 8 -shots 0   # exact modes, no sampling
+//	weaksim -bench running_example -dot state.dot    # Graphviz of the DD
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"weaksim"
+	"weaksim/internal/circuit/qasm"
+	"weaksim/internal/core"
+	"weaksim/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "weaksim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		bench     = flag.String("bench", "", "benchmark name (qft_A, grover_A, shor_N_a, jellium_AxA, supremacy_AxB_D, running_example)")
+		qasmFile  = flag.String("qasm", "", "OpenQASM 2.0 file to simulate instead of a named benchmark")
+		shots     = flag.Int("shots", 16, "number of measurement samples to draw")
+		seed      = flag.Uint64("seed", 1, "random seed (equal seeds reproduce samples exactly)")
+		method    = flag.String("method", "dd", "sampling method: dd, prefix, linear, or alias")
+		norm      = flag.String("norm", "l2phase", "DD normalization scheme: left, l2, or l2phase")
+		top       = flag.Int("top", 0, "print only the k most frequent outcomes as a histogram")
+		histogram = flag.Bool("histogram", false, "aggregate shots into a histogram instead of listing them")
+		render    = flag.Bool("render", false, "print the circuit diagram before simulating")
+		showStats = flag.Bool("stats", true, "print state size and timing statistics")
+		budget    = flag.Int("vector-budget", 0, "max qubits for dense sampling methods (0 = default 26)")
+		verify    = flag.Bool("verify", false, "chi-square the samples against the exact distribution (needs the state to fit the vector budget)")
+		dotFile   = flag.String("dot", "", "write the final state's decision diagram as Graphviz DOT to this file")
+		exactTop  = flag.Int("exact-top", 0, "print the k most probable outcomes exactly (no sampling, works beyond the vector budget)")
+		list      = flag.Bool("list", false, "list the paper's Table I benchmark names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range weaksim.TableIBenchmarks() {
+			fmt.Println(name)
+		}
+		fmt.Println("(plus: qpe via the API; ghz_A, wstate_A, bv_A, dj_A_constant,")
+		fmt.Println(" dj_A_balanced, shor_gates_N_a, running_example, figure1)")
+		return nil
+	}
+
+	c, err := loadCircuit(*bench, *qasmFile)
+	if err != nil {
+		return err
+	}
+	if *render {
+		fmt.Print(c.Render())
+	}
+
+	m, err := weaksim.ParseMethod(*method)
+	if err != nil {
+		return err
+	}
+	normScheme, err := parseNorm(*norm)
+	if err != nil {
+		return err
+	}
+
+	opts := []weaksim.Option{
+		weaksim.WithSeed(*seed),
+		weaksim.WithMethod(m),
+		weaksim.WithNormalization(normScheme),
+	}
+	if *budget > 0 {
+		opts = append(opts, weaksim.WithVectorBudget(*budget))
+	}
+
+	start := time.Now()
+	state, err := weaksim.Simulate(c, opts...)
+	if err != nil {
+		return fmt.Errorf("strong simulation: %w", err)
+	}
+	simTime := time.Since(start)
+
+	if *exactTop > 0 {
+		top, err := state.TopOutcomes(*exactTop)
+		if err != nil {
+			return err
+		}
+		for _, o := range top {
+			fmt.Printf("%s  %.6g\n", o.Bits, o.Probability)
+		}
+	}
+
+	if *dotFile != "" {
+		f, err := os.Create(*dotFile)
+		if err != nil {
+			return err
+		}
+		if err := state.WriteDOT(f, c.Name); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	start = time.Now()
+	sampler, err := state.Sampler()
+	if err != nil {
+		return fmt.Errorf("sampler setup: %w", err)
+	}
+	setupTime := time.Since(start)
+
+	start = time.Now()
+	var indexCounts map[uint64]int
+	switch {
+	case *verify:
+		indexCounts = sampler.CountsByIndex(*shots)
+		if *histogram || *top > 0 {
+			counts := make(map[string]int, len(indexCounts))
+			for idx, n := range indexCounts {
+				counts[core.FormatBits(idx, c.NQubits)] = n
+			}
+			printHistogram(counts, *shots, *top)
+		}
+	case *histogram || *top > 0:
+		printHistogram(sampler.Counts(*shots), *shots, *top)
+	default:
+		for i := 0; i < *shots; i++ {
+			fmt.Println(sampler.Shot())
+		}
+	}
+	sampleTime := time.Since(start)
+
+	if *verify {
+		probs, err := state.Probabilities()
+		if err != nil {
+			return fmt.Errorf("verification needs the exact distribution: %w", err)
+		}
+		res, err := stats.ChiSquareGOF(indexCounts, probs, *shots)
+		if err != nil {
+			return err
+		}
+		verdict := "indistinguishable from the exact distribution"
+		if res.PValue < 0.001 {
+			verdict = "REJECTED at significance 0.001"
+		}
+		fmt.Fprintf(os.Stderr, "chi-square: stat=%.2f dof=%d p=%.4g — samples %s\n",
+			res.Statistic, res.DoF, res.PValue, verdict)
+	}
+
+	if *showStats {
+		fmt.Fprintf(os.Stderr, "circuit %s: %d qubits, %d ops, depth %d\n", c.Name, c.NQubits, c.NumOps(), c.Depth())
+		fmt.Fprintf(os.Stderr, "final state: %d DD nodes (state space 2^%d)\n", state.NodeCount(), c.NQubits)
+		fmt.Fprintf(os.Stderr, "strong simulation %v, sampler setup %v, %d samples %v (%s method)\n",
+			simTime.Round(time.Microsecond), setupTime.Round(time.Microsecond),
+			*shots, sampleTime.Round(time.Microsecond), m)
+	}
+	return nil
+}
+
+func loadCircuit(bench, qasmFile string) (*weaksim.Circuit, error) {
+	switch {
+	case bench != "" && qasmFile != "":
+		return nil, fmt.Errorf("pass either -bench or -qasm, not both")
+	case bench != "":
+		return weaksim.GenerateBenchmark(bench)
+	case qasmFile != "":
+		src, err := os.ReadFile(qasmFile)
+		if err != nil {
+			return nil, err
+		}
+		name := strings.TrimSuffix(qasmFile, ".qasm")
+		if i := strings.LastIndexByte(name, '/'); i >= 0 {
+			name = name[i+1:]
+		}
+		return qasm.Parse(string(src), name)
+	default:
+		return nil, fmt.Errorf("pass -bench <name> or -qasm <file>; available benchmarks include %s",
+			strings.Join(weaksim.TableIBenchmarks(), ", "))
+	}
+}
+
+func parseNorm(s string) (weaksim.Norm, error) {
+	switch s {
+	case "left":
+		return weaksim.NormLeft, nil
+	case "l2":
+		return weaksim.NormL2, nil
+	case "l2phase":
+		return weaksim.NormL2Phase, nil
+	}
+	return 0, fmt.Errorf("unknown normalization %q (want left, l2, or l2phase)", s)
+}
+
+func printHistogram(counts map[string]int, shots, top int) {
+	type entry struct {
+		bits string
+		n    int
+	}
+	entries := make([]entry, 0, len(counts))
+	for bits, n := range counts {
+		entries = append(entries, entry{bits, n})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].n != entries[j].n {
+			return entries[i].n > entries[j].n
+		}
+		return entries[i].bits < entries[j].bits
+	})
+	if top > 0 && top < len(entries) {
+		entries = entries[:top]
+	}
+	for _, e := range entries {
+		frac := float64(e.n) / float64(shots)
+		bar := strings.Repeat("#", int(frac*50+0.5))
+		fmt.Printf("%s %8d  %6.2f%% %s\n", e.bits, e.n, 100*frac, bar)
+	}
+}

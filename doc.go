@@ -1,0 +1,41 @@
+// Package weaksim is a fast weak simulator of quantum computation: it mimics
+// the output of an error-free quantum computer by drawing measurement
+// samples whose distribution is statistically indistinguishable from the
+// machine's Born distribution.
+//
+// It is a from-scratch Go reproduction of Hillmich, Markov, and Wille,
+// "Just Like the Real Thing: Fast Weak Simulation of Quantum Computation"
+// (DAC 2020, arXiv:2007.15285). The pipeline follows the paper's Fig. 2:
+//
+//	circuit ──strong simulation──▶ final state ──sampling──▶ bitstrings
+//
+// Strong simulation runs on one of two backends: a dense state-vector
+// engine (exponential memory, the baseline) or an edge-weighted
+// decision-diagram engine that exploits redundancy in the state and is the
+// key to sampling states far beyond dense-vector reach. Sampling likewise
+// comes in two families: prefix sums with binary search over an explicit
+// probability array, and randomized root-to-terminal walks over the
+// decision diagram (the paper's contribution), accelerated by an L2
+// edge-weight normalization scheme under which branch probabilities are
+// directly the squared magnitudes of edge weights.
+//
+// # Quickstart
+//
+//	c := weaksim.NewCircuit(2, "bell")
+//	c.H(0).CX(0, 1)
+//	counts, err := weaksim.Run(c, 1000, weaksim.WithSeed(1))
+//	// counts ≈ map["00":500 "11":500]
+//
+// Benchmark circuits from the paper's Table I are available by name:
+//
+//	c, err := weaksim.GenerateBenchmark("shor_33_2")
+//	state, err := weaksim.Simulate(c)
+//	sampler, err := state.Sampler(weaksim.WithSeed(7))
+//	fmt.Println(sampler.Shot()) // e.g. "011010110100101011"
+//
+// The subpackages under internal/ contain the full machinery: cnum (complex
+// arithmetic and value interning), dd (decision diagrams), gate and circuit
+// (the IR), statevec (the dense engine), sim (strong simulation), algo
+// (benchmark generators), core (the sampling algorithms), stats
+// (indistinguishability testing), and rng (deterministic randomness).
+package weaksim

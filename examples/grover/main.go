@@ -1,0 +1,62 @@
+// Grover search demo: hide a random needle among 2^n basis states, run
+// Grover's algorithm with a random oracle (the paper's grover_A workload),
+// and recover the needle from measurement samples alone — the way a user
+// of a physical quantum computer would.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"weaksim"
+	"weaksim/internal/algo"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 12, "number of search qubits")
+		seed  = flag.Uint64("seed", 7, "oracle and sampling seed")
+		shots = flag.Int("shots", 200, "measurement samples")
+	)
+	flag.Parse()
+
+	circuit, marked := algo.Grover(*n, *seed)
+	fmt.Printf("Searching %d items with %d Grover iterations (%d qubits, %d gates)\n",
+		1<<uint(*n), algo.GroverIterations(*n), circuit.NQubits, circuit.NumOps())
+	fmt.Printf("The oracle secretly marks item %d\n\n", marked)
+
+	state, err := weaksim.Simulate(circuit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Final state fits in %d DD nodes (vs 2^%d amplitudes dense)\n",
+		state.NodeCount(), circuit.NQubits)
+
+	sampler, err := state.Sampler(weaksim.WithSeed(*seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Measure. The search register is the low n bits; the top bit is the
+	// oracle ancilla (in |−⟩, so it reads 0 or 1 uniformly).
+	tally := make(map[uint64]int)
+	for i := 0; i < *shots; i++ {
+		idx := sampler.ShotIndex()
+		tally[idx&(uint64(1)<<uint(*n)-1)]++
+	}
+	var best uint64
+	bestCount := -1
+	for item, count := range tally {
+		if count > bestCount {
+			best, bestCount = item, count
+		}
+	}
+	fmt.Printf("\nAfter %d shots the most frequent search-register value is %d (%d hits, %.1f%%)\n",
+		*shots, best, bestCount, 100*float64(bestCount)/float64(*shots))
+	if best == marked {
+		fmt.Println("Found the marked item — just like the real thing.")
+	} else {
+		fmt.Println("Missed the marked item (expected with very low probability).")
+	}
+}

@@ -1,0 +1,80 @@
+// Measurement-collapse demo: simulated measurement can be repeated
+// non-destructively (the luxury of weak simulation, paper Section IV-B),
+// but this library also models what hardware actually does — destructive
+// single-qubit measurement with state collapse. The demo measures a GHZ
+// state qubit by qubit and shows the collapse cascade, then contrasts it
+// with approximate weak simulation of a skewed state.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"weaksim"
+)
+
+func main() {
+	// GHZ state: (|000⟩ + |111⟩)/√2 — measuring any one qubit collapses
+	// all three.
+	c := weaksim.NewCircuit(3, "ghz")
+	c.H(0).CX(0, 1).CX(1, 2)
+	state, err := weaksim.Simulate(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	p1, err := state.QubitProbability(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GHZ state: P(q0=1) = %.3f\n", p1)
+
+	for trial := uint64(1); trial <= 4; trial++ {
+		fmt.Printf("\ntrial %d:\n", trial)
+		s := state
+		for q := 0; q < 3; q++ {
+			bit, post, err := s.MeasureQubit(q, trial*31+uint64(q))
+			if err != nil {
+				log.Fatal(err)
+			}
+			pNext := 0.0
+			if q < 2 {
+				pNext, err = post.QubitProbability(q + 1)
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+			fmt.Printf("  measured q%d = %d", q, bit)
+			if q < 2 {
+				fmt.Printf("   → P(q%d=1) collapsed to %.3f", q+1, pNext)
+			}
+			fmt.Println()
+			s = post
+		}
+	}
+
+	// Approximate weak simulation: prune a low-probability branch and
+	// sample from the smaller diagram.
+	skew := weaksim.NewCircuit(4, "skewed")
+	skew.RY(0.45, 3) // small amplitude on the q3=1 branch
+	for q := 0; q < 3; q++ {
+		skew.H(q)
+	}
+	full, err := weaksim.Simulate(skew)
+	if err != nil {
+		log.Fatal(err)
+	}
+	approx, fidelity, err := full.Approximate(0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nskewed state: %d DD nodes; approximated at threshold 0.1: %d nodes, fidelity %.4f\n",
+		full.NodeCount(), approx.NodeCount(), fidelity)
+	sampler, err := approx.Sampler(weaksim.WithSeed(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := sampler.Counts(10)
+	fmt.Printf("10 shots from the approximate state: %v\n", counts)
+	fmt.Println("(all samples have q3 = 0 — the pruned branch is gone)")
+}

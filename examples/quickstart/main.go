@@ -1,0 +1,82 @@
+// Quickstart: the paper's Fig. 2 pipeline on the running example — build a
+// circuit, strongly simulate it into a decision diagram, inspect amplitudes
+// and probabilities, then weakly simulate it by drawing measurement samples
+// that look just like the output of a physical quantum computer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"weaksim"
+)
+
+func main() {
+	// The running example of the paper (Figs. 2-4): a 3-qubit circuit
+	// preparing -i·√(3/8)·(|001⟩+|011⟩) + √(1/8)·(|100⟩+|111⟩).
+	c, err := weaksim.GenerateBenchmark("running_example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Quantum circuit description:")
+	fmt.Print(c.Render())
+
+	// Strong simulation: compute the final state (as a decision diagram).
+	state, err := weaksim.Simulate(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nStrong simulation: %d-qubit state in %d DD nodes\n",
+		state.Qubits(), state.NodeCount())
+
+	fmt.Println("\nAmplitudes (not observable on a physical machine):")
+	for i := uint64(0); i < 8; i++ {
+		amp, err := state.AmplitudeAt(i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  α_%03b = %6.3f%+.3fi\n", i, real(amp), imag(amp))
+	}
+
+	probs, err := state.Probabilities()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nMeasurement probabilities |α|²:")
+	for i, p := range probs {
+		fmt.Printf("  p(|%03b⟩) = %.4f\n", i, p)
+	}
+
+	// Weak simulation: nondeterministic samples, exactly what quantum
+	// hardware outputs.
+	sampler, err := state.Sampler(weaksim.WithSeed(2020))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nWeak simulation — 10 measurement shots:")
+	for i := 0; i < 10; i++ {
+		fmt.Printf("  %s\n", sampler.Shot())
+	}
+
+	shots := 100000
+	counts := sampler.Counts(shots)
+	fmt.Printf("\nHistogram of %d shots (exact: 37.5%%, 37.5%%, 12.5%%, 12.5%%):\n", shots)
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %s: %6.2f%%\n", k, 100*float64(counts[k])/float64(shots))
+	}
+
+	// A Bell pair with the builder API.
+	bell := weaksim.NewCircuit(2, "bell")
+	bell.H(0).CX(0, 1)
+	bellCounts, err := weaksim.Run(bell, 1000, weaksim.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nBell pair, 1000 shots: %v\n", bellCounts)
+}

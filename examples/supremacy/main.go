@@ -1,0 +1,74 @@
+// Supremacy-circuit demo: generate a GRCS-style random circuit (the
+// paper's supremacy_AxB_D workload), strongly simulate it, and check that
+// the sampled outputs show the Porter-Thomas signature of a chaotic quantum
+// state — the very property the quantum-supremacy experiments measure. It
+// also demonstrates where decision diagrams stop compressing: random
+// circuits drive the DD towards its worst case.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"weaksim"
+	"weaksim/internal/algo"
+)
+
+func main() {
+	var (
+		rows  = flag.Int("rows", 4, "grid rows")
+		cols  = flag.Int("cols", 4, "grid columns")
+		depth = flag.Int("depth", 10, "CZ clock cycles")
+		seed  = flag.Uint64("seed", algo.DefaultSeed, "circuit and sampling seed")
+		shots = flag.Int("shots", 50000, "measurement samples")
+	)
+	flag.Parse()
+
+	circuit, err := algo.Supremacy(algo.SupremacyParams{
+		Rows: *rows, Cols: *cols, Depth: *depth, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := circuit.NQubits
+	fmt.Printf("%s: %d qubits, %d gates %v\n", circuit.Name, n, circuit.NumOps(), circuit.GateCounts())
+
+	state, err := weaksim.Simulate(circuit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodes := state.NodeCount()
+	fmt.Printf("final state: %d DD nodes ≈ 2^%.1f (state space 2^%d)\n",
+		nodes, math.Log2(float64(nodes)), n)
+
+	// Porter-Thomas check: for a chaotic state, outcome probabilities
+	// follow an exponential distribution, so the expected value of
+	// ln(2^n · p) over *sampled* outcomes is 1 - γ ≈ 0.4228 (the
+	// cross-entropy benchmarking baseline of Boixo et al.).
+	sampler, err := state.Sampler(weaksim.WithSeed(*seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	size := math.Pow(2, float64(n))
+	var sum float64
+	for i := 0; i < *shots; i++ {
+		idx := sampler.ShotIndex()
+		amp, err := state.AmplitudeAt(idx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := real(amp)*real(amp) + imag(amp)*imag(amp)
+		sum += math.Log(size * p)
+	}
+	got := sum / float64(*shots)
+	const want = 1 - 0.57721566490153286 // 1 - Euler-Mascheroni
+	fmt.Printf("\nPorter-Thomas statistic ⟨ln(2^n·p)⟩ over %d sampled outcomes: %.4f (chaotic ideal %.4f)\n",
+		*shots, got, want)
+	if math.Abs(got-want) < 0.1 {
+		fmt.Println("The sampled outputs carry the supremacy-circuit signature.")
+	} else {
+		fmt.Println("Statistic off the chaotic ideal — increase depth for full scrambling.")
+	}
+}

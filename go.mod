@@ -1,0 +1,3 @@
+module weaksim
+
+go 1.22

@@ -1,0 +1,46 @@
+package algo
+
+import (
+	"math"
+
+	"weaksim/internal/circuit"
+)
+
+// RunningExample returns a 3-qubit circuit preparing the paper's running-
+// example state (Figs. 2-4):
+//
+//	[0, -0.612i, 0, -0.612i, 0.354, 0, 0, 0.354]
+//
+// i.e. -i·√(3/8)·(|001⟩+|011⟩) + √(1/8)·(|100⟩+|111⟩). The figure's exact
+// gate sequence is not fully recoverable from the paper text, so this
+// circuit — Rx(2π/3) and X on q2 as in Fig. 2, followed by the entangling
+// layer — prepares the identical state, which is all that Figs. 3 and 4
+// depend on.
+func RunningExample() *circuit.Circuit {
+	c := circuit.New(3, "running_example")
+	c.RX(2*math.Pi/3, 2) // q2: cos(π/3)|0⟩ - i·sin(π/3)|1⟩
+	c.X(2)               // swap the branches: the -i amplitude moves to q2=0
+	c.H(1)               // q1 into superposition
+	c.X(0)               // q0 = 1 ...
+	c.CX(2, 0)           // ... except in the q2=1 branch ...
+	c.CCX(2, 1, 0)       // ... where q0 follows q1.
+	return c
+}
+
+// RunningExampleProbabilities returns the exact Born distribution of the
+// running example, the paper's Fig. 2 right-hand side:
+// [0, 3/8, 0, 3/8, 1/8, 0, 0, 1/8].
+func RunningExampleProbabilities() []float64 {
+	return []float64{0, 3.0 / 8, 0, 3.0 / 8, 1.0 / 8, 0, 0, 1.0 / 8}
+}
+
+// Figure1Example returns the paper's Fig. 1 circuit: H on q2, CNOT(q2→q1),
+// X on q0, CNOT(q1→q0), followed by (implicit) measurement of all qubits.
+func Figure1Example() *circuit.Circuit {
+	c := circuit.New(3, "figure1")
+	c.H(2)
+	c.CX(2, 1)
+	c.X(0)
+	c.CX(1, 0)
+	return c
+}

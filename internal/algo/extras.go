@@ -1,0 +1,116 @@
+package algo
+
+import (
+	"fmt"
+	"math"
+
+	"weaksim/internal/circuit"
+	"weaksim/internal/gate"
+	"weaksim/internal/rng"
+)
+
+// The generators in this file are not part of the paper's Table I; they are
+// standard workloads useful for exercising and demonstrating the weak
+// simulator (all are registered with the benchmark registry under the
+// names documented on Generate).
+
+// GHZ returns the n-qubit Greenberger-Horne-Zeilinger circuit: a Hadamard
+// followed by a CNOT chain, preparing (|0...0⟩+|1...1⟩)/√2. The state's DD
+// has exactly n nodes while being maximally entangled — a neat showcase of
+// redundancy exploitation.
+func GHZ(n int) *circuit.Circuit {
+	if n < 2 {
+		panic("algo: GHZ needs at least two qubits")
+	}
+	c := circuit.New(n, fmt.Sprintf("ghz_%d", n))
+	c.H(0)
+	for q := 1; q < n; q++ {
+		c.CX(q-1, q)
+	}
+	return c
+}
+
+// WState returns the n-qubit W state circuit preparing the equal
+// superposition of all weight-1 basis states. It uses the standard cascade
+// of controlled rotations: qubit 0 gets the full amplitude, then each step
+// splits off 1/(n-k) of the remaining weight.
+func WState(n int) *circuit.Circuit {
+	if n < 2 {
+		panic("algo: W state needs at least two qubits")
+	}
+	c := circuit.New(n, fmt.Sprintf("wstate_%d", n))
+	c.X(0)
+	for k := 1; k < n; k++ {
+		// Rotate qubit k conditioned on qubit k-1, moving amplitude
+		// sqrt(1/(n-k+1))... the standard B(1/(n-k+1)) block:
+		theta := 2 * math.Acos(math.Sqrt(1/float64(n-k+1)))
+		c.Apply(gate.RYGate(theta), k, gate.Pos(k-1))
+		c.CX(k, k-1)
+	}
+	return c
+}
+
+// BernsteinVazirani returns the Bernstein-Vazirani circuit for the given
+// n-bit secret: one query to the phase oracle reveals the secret exactly,
+// so weak simulation returns the secret as every sample. Qubits 0..n-1 are
+// the input register; qubit n is the oracle ancilla in |−⟩.
+func BernsteinVazirani(n int, secret uint64) *circuit.Circuit {
+	if n < 1 {
+		panic("algo: Bernstein-Vazirani needs at least one qubit")
+	}
+	if secret >= uint64(1)<<uint(n) {
+		panic("algo: secret out of range")
+	}
+	c := circuit.New(n+1, fmt.Sprintf("bv_%d", n))
+	anc := n
+	c.X(anc)
+	c.H(anc)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	for q := 0; q < n; q++ {
+		if secret>>uint(q)&1 == 1 {
+			c.CX(q, anc)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	return c
+}
+
+// DeutschJozsa returns the Deutsch-Jozsa circuit for an n-bit function
+// that is either constant or balanced, chosen by the flag. Balanced
+// functions use a random parity mask from the seeded generator. Measuring
+// all-zeros on the input register means "constant"; anything else means
+// "balanced".
+func DeutschJozsa(n int, balanced bool, seed uint64) *circuit.Circuit {
+	if n < 1 {
+		panic("algo: Deutsch-Jozsa needs at least one qubit")
+	}
+	kind := "constant"
+	if balanced {
+		kind = "balanced"
+	}
+	c := circuit.New(n+1, fmt.Sprintf("dj_%d_%s", n, kind))
+	anc := n
+	c.X(anc)
+	c.H(anc)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	if balanced {
+		r := rng.New(seed)
+		mask := 1 + r.Uint64N(uint64(1)<<uint(n)-1) // non-zero parity mask
+		for q := 0; q < n; q++ {
+			if mask>>uint(q)&1 == 1 {
+				c.CX(q, anc)
+			}
+		}
+	}
+	// Constant-zero oracle: identity.
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	return c
+}

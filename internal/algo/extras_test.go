@@ -1,0 +1,142 @@
+package algo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGHZState(t *testing.T) {
+	for _, n := range []int{2, 3, 6} {
+		probs := runDense(t, GHZ(n))
+		all := uint64(1)<<uint(n) - 1
+		if math.Abs(probs[0]-0.5) > 1e-12 || math.Abs(probs[all]-0.5) > 1e-12 {
+			t.Errorf("ghz_%d: p(0)=%v p(1...1)=%v", n, probs[0], probs[all])
+		}
+		var other float64
+		for i, p := range probs {
+			if uint64(i) != 0 && uint64(i) != all {
+				other += p
+			}
+		}
+		if other > 1e-12 {
+			t.Errorf("ghz_%d: probability outside the two branches: %v", n, other)
+		}
+	}
+}
+
+func TestWState(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		probs := runDense(t, WState(n))
+		want := 1 / float64(n)
+		for i, p := range probs {
+			if popcount(uint64(i)) == 1 {
+				if math.Abs(p-want) > 1e-9 {
+					t.Errorf("wstate_%d: p(%b) = %v, want %v", n, i, p, want)
+				}
+			} else if p > 1e-12 {
+				t.Errorf("wstate_%d: weight-%d state %b has p=%v", n, popcount(uint64(i)), i, p)
+			}
+		}
+	}
+}
+
+func TestBernsteinVaziraniRecoversSecret(t *testing.T) {
+	for _, secret := range []uint64{0, 1, 0b1011, 0b11111} {
+		n := 5
+		probs := runDense(t, BernsteinVazirani(n, secret))
+		// The input register reads the secret deterministically; the
+		// ancilla is in |−⟩ so both its branches carry half the weight.
+		anc := uint64(1) << uint(n)
+		got := probs[secret] + probs[secret|anc]
+		if math.Abs(got-1) > 1e-9 {
+			t.Errorf("secret %b: probability %v, want 1", secret, got)
+		}
+	}
+}
+
+func TestDeutschJozsa(t *testing.T) {
+	n := 6
+	probs := runDense(t, DeutschJozsa(n, false, 1))
+	anc := uint64(1) << uint(n)
+	if p := probs[0] + probs[anc]; math.Abs(p-1) > 1e-9 {
+		t.Errorf("constant oracle: p(input=0) = %v, want 1", p)
+	}
+	probs = runDense(t, DeutschJozsa(n, true, 1))
+	if p := probs[0] + probs[anc]; p > 1e-9 {
+		t.Errorf("balanced oracle: p(input=0) = %v, want 0", p)
+	}
+}
+
+func TestExtraRegistryNames(t *testing.T) {
+	for _, name := range []string{"ghz_8", "wstate_5", "bv_7", "dj_4_constant", "dj_4_balanced"} {
+		c, err := Generate(name)
+		if err != nil {
+			t.Errorf("Generate(%q): %v", name, err)
+			continue
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("Generate(%q): %v", name, err)
+		}
+	}
+	for _, bad := range []string{"ghz_1", "wstate_x", "bv_0", "dj_4_sideways"} {
+		if _, err := Generate(bad); err == nil {
+			t.Errorf("Generate(%q) should fail", bad)
+		}
+	}
+}
+
+func TestQPEExactPhase(t *testing.T) {
+	// A phase exactly representable in t bits is estimated deterministically.
+	tBits := 5
+	phase := 11.0 / 32.0
+	c, err := QPE(tBits, phase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := runDense(t, c)
+	// Counting register is qubits 1..t, eigenstate qubit 0 stays |1⟩.
+	want := uint64(11)<<1 | 1
+	if p := probs[want]; math.Abs(p-1) > 1e-9 {
+		t.Errorf("p(y=11) = %v, want 1", p)
+	}
+}
+
+func TestQPEDistributionMatchesClosedForm(t *testing.T) {
+	tBits := 4
+	phase := 0.31831 // irrational-ish
+	c, err := QPE(tBits, phase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := runDense(t, c)
+	var sum float64
+	for y := uint64(0); y < 1<<uint(tBits); y++ {
+		got := probs[y<<1|1] // eigenstate bit is 1
+		want := QPEProbability(tBits, phase, y)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("p(y=%d) = %v, closed form %v", y, got, want)
+		}
+		sum += got
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("QPE distribution sums to %v", sum)
+	}
+}
+
+func TestQPEProbabilityClosedFormSums(t *testing.T) {
+	for _, phase := range []float64{0.1, 0.5, 0.77, 0.123456} {
+		var sum float64
+		for y := uint64(0); y < 64; y++ {
+			sum += QPEProbability(6, phase, y)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("phase %v: closed form sums to %v", phase, sum)
+		}
+	}
+}
+
+func TestQPEValidation(t *testing.T) {
+	if _, err := QPE(0, 0.5); err == nil {
+		t.Error("expected error for zero counting qubits")
+	}
+}

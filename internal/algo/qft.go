@@ -1,0 +1,54 @@
+// Package algo generates the benchmark circuits of the paper's empirical
+// validation (Section V): the Quantum Fourier Transformation, Grover's
+// search with a random oracle, Shor's algorithm, uniform-electron-gas
+// (jellium) Trotter circuits, and GRCS-style quantum-supremacy circuits.
+// A registry maps the paper's benchmark names (e.g. "shor_33_2") to
+// generators.
+package algo
+
+import (
+	"fmt"
+	"math"
+
+	"weaksim/internal/circuit"
+)
+
+// QFT returns the quantum Fourier transformation on n qubits, applied to
+// the |0...0⟩ input as in the paper's qft_A benchmarks: a cascade of
+// Hadamard and controlled-phase gates followed by the qubit-reversal swaps.
+func QFT(n int) *circuit.Circuit {
+	c := circuit.New(n, fmt.Sprintf("qft_%d", n))
+	AppendQFT(c, 0, n)
+	return c
+}
+
+// AppendQFT appends the QFT on the qubit range [lo, lo+width) to an
+// existing circuit, including the final qubit-reversal swaps.
+func AppendQFT(c *circuit.Circuit, lo, width int) {
+	for i := width - 1; i >= 0; i-- {
+		q := lo + i
+		c.H(q)
+		for j := i - 1; j >= 0; j-- {
+			// Controlled phase by π/2^(i-j).
+			c.CP(math.Pi/float64(uint64(1)<<uint(i-j)), lo+j, q)
+		}
+	}
+	for i := 0; i < width/2; i++ {
+		c.Swap(lo+i, lo+width-1-i)
+	}
+}
+
+// AppendInverseQFT appends the inverse QFT on [lo, lo+width): the reversal
+// swaps followed by the reversed cascade with negated angles.
+func AppendInverseQFT(c *circuit.Circuit, lo, width int) {
+	for i := 0; i < width/2; i++ {
+		c.Swap(lo+i, lo+width-1-i)
+	}
+	for i := 0; i < width; i++ {
+		q := lo + i
+		for j := 0; j < i; j++ {
+			c.CP(-math.Pi/float64(uint64(1)<<uint(i-j)), lo+j, q)
+		}
+		c.H(q)
+	}
+}

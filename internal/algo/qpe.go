@@ -1,0 +1,54 @@
+package algo
+
+import (
+	"fmt"
+	"math"
+
+	"weaksim/internal/circuit"
+	"weaksim/internal/gate"
+)
+
+// QPE returns a quantum phase estimation circuit for the phase gate
+// P(2π·phase) acting on its eigenstate |1⟩: `counting` counting qubits
+// (qubits 1..counting) estimate the phase of the eigenvalue e^{2πi·phase}
+// to `counting` bits; qubit 0 holds the eigenstate. Shor's circuit is this
+// construction with modular multiplication in place of the phase gate.
+//
+// Measuring the counting register yields y with the textbook distribution
+// peaked at y ≈ phase·2^counting; QPEProbability gives the exact law.
+func QPE(counting int, phase float64) (*circuit.Circuit, error) {
+	if counting < 1 {
+		return nil, fmt.Errorf("algo: QPE needs at least one counting qubit")
+	}
+	c := circuit.New(counting+1, fmt.Sprintf("qpe_%d", counting))
+	c.X(0) // eigenstate |1⟩ of the phase gate
+	for k := 0; k < counting; k++ {
+		c.H(1 + k)
+	}
+	for k := 0; k < counting; k++ {
+		theta := 2 * math.Pi * phase * float64(uint64(1)<<uint(k))
+		c.Apply(gate.PhaseGate(theta), 0, gate.Pos(1+k))
+	}
+	AppendInverseQFT(c, 1, counting)
+	return c, nil
+}
+
+// QPEProbability returns the exact probability that phase estimation with
+// the given number of counting qubits reports the integer y:
+//
+//	p(y) = |(1/2^t) · Σ_x e^{2πi·x·(φ − y/2^t)}|²
+//	     = sin²(2^t·π·δ) / (2^{2t}·sin²(π·δ)),  δ = φ − y/2^t
+//
+// with the limit p = 1 when δ is an integer (exactly representable phase).
+func QPEProbability(counting int, phase float64, y uint64) float64 {
+	t := float64(uint64(1) << uint(counting))
+	delta := phase - float64(y)/t
+	// Reduce to the principal branch.
+	delta -= math.Round(delta)
+	s := math.Sin(math.Pi * delta)
+	if math.Abs(s) < 1e-15 {
+		return 1
+	}
+	num := math.Sin(t * math.Pi * delta)
+	return (num * num) / (t * t * s * s)
+}

@@ -1,0 +1,144 @@
+package algo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"weaksim/internal/circuit"
+	"weaksim/internal/rng"
+)
+
+// DefaultSeed is the seed used for the randomized benchmark instances
+// (Grover's oracle, supremacy gate choices) when a benchmark is built by
+// name, keeping every named instance reproducible.
+const DefaultSeed = 20200720 // the paper's arXiv date
+
+// Generate builds a benchmark circuit from a Table I-style name:
+//
+//	qft_A             QFT on A qubits
+//	grover_A          Grover on A search qubits (A+1 total), random oracle
+//	shor_N_a          Shor order finding for N with base a (3·bits(N) qubits)
+//	jellium_AxA       electron-gas Trotter circuit on an A×A grid (2A² qubits)
+//	supremacy_AxB_D   GRCS-style random circuit on an A×B grid, depth D
+//	running_example   the paper's Fig. 2 running example
+//	figure1           the paper's Fig. 1 circuit
+//
+// Beyond the paper's Table I families, these standard workloads are also
+// available: ghz_A, wstate_A, bv_A (Bernstein-Vazirani with a random
+// secret), dj_A_constant and dj_A_balanced (Deutsch-Jozsa), and
+// shor_gates_N_a (gate-level Shor with Draper/Beauregard modular
+// arithmetic on 4·bits(N)+2 qubits).
+func Generate(name string) (*circuit.Circuit, error) {
+	switch {
+	case name == "running_example":
+		return RunningExample(), nil
+	case name == "figure1":
+		return Figure1Example(), nil
+	case strings.HasPrefix(name, "ghz_"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "ghz_"))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("algo: bad ghz benchmark %q", name)
+		}
+		return GHZ(n), nil
+	case strings.HasPrefix(name, "wstate_"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "wstate_"))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("algo: bad wstate benchmark %q", name)
+		}
+		return WState(n), nil
+	case strings.HasPrefix(name, "bv_"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "bv_"))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("algo: bad bv benchmark %q", name)
+		}
+		secret := rng.New(DefaultSeed).Uint64N(uint64(1) << uint(n))
+		return BernsteinVazirani(n, secret), nil
+	case strings.HasPrefix(name, "dj_"):
+		parts := strings.Split(strings.TrimPrefix(name, "dj_"), "_")
+		if len(parts) != 2 || (parts[1] != "constant" && parts[1] != "balanced") {
+			return nil, fmt.Errorf("algo: bad dj benchmark %q (want dj_A_constant or dj_A_balanced)", name)
+		}
+		n, err := strconv.Atoi(parts[0])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("algo: bad dj benchmark %q", name)
+		}
+		return DeutschJozsa(n, parts[1] == "balanced", DefaultSeed), nil
+	case strings.HasPrefix(name, "qft_"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "qft_"))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("algo: bad qft benchmark %q", name)
+		}
+		return QFT(n), nil
+	case strings.HasPrefix(name, "grover_"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "grover_"))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("algo: bad grover benchmark %q", name)
+		}
+		c, _ := Grover(n, DefaultSeed)
+		return c, nil
+	case strings.HasPrefix(name, "shor_gates_"):
+		parts := strings.Split(strings.TrimPrefix(name, "shor_gates_"), "_")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("algo: bad shor_gates benchmark %q (want shor_gates_N_a)", name)
+		}
+		n, err1 := strconv.ParseUint(parts[0], 10, 64)
+		a, err2 := strconv.ParseUint(parts[1], 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("algo: bad shor_gates benchmark %q", name)
+		}
+		c, _, err := ShorGateLevel(n, a)
+		return c, err
+	case strings.HasPrefix(name, "shor_"):
+		parts := strings.Split(strings.TrimPrefix(name, "shor_"), "_")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("algo: bad shor benchmark %q (want shor_N_a)", name)
+		}
+		n, err1 := strconv.ParseUint(parts[0], 10, 64)
+		a, err2 := strconv.ParseUint(parts[1], 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("algo: bad shor benchmark %q", name)
+		}
+		return Shor(n, a)
+	case strings.HasPrefix(name, "jellium_"):
+		dims := strings.Split(strings.TrimPrefix(name, "jellium_"), "x")
+		if len(dims) != 2 || dims[0] != dims[1] {
+			return nil, fmt.Errorf("algo: bad jellium benchmark %q (want jellium_AxA)", name)
+		}
+		a, err := strconv.Atoi(dims[0])
+		if err != nil {
+			return nil, fmt.Errorf("algo: bad jellium benchmark %q", name)
+		}
+		return Jellium(JelliumParams{Grid: a})
+	case strings.HasPrefix(name, "supremacy_"):
+		rest := strings.TrimPrefix(name, "supremacy_")
+		parts := strings.Split(rest, "_")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("algo: bad supremacy benchmark %q (want supremacy_AxB_D)", name)
+		}
+		dims := strings.Split(parts[0], "x")
+		if len(dims) != 2 {
+			return nil, fmt.Errorf("algo: bad supremacy benchmark %q", name)
+		}
+		rows, err1 := strconv.Atoi(dims[0])
+		cols, err2 := strconv.Atoi(dims[1])
+		depth, err3 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("algo: bad supremacy benchmark %q", name)
+		}
+		return Supremacy(SupremacyParams{Rows: rows, Cols: cols, Depth: depth, Seed: DefaultSeed})
+	default:
+		return nil, fmt.Errorf("algo: unknown benchmark %q", name)
+	}
+}
+
+// TableIBenchmarks lists the 17 rows of the paper's Table I in order.
+func TableIBenchmarks() []string {
+	return []string{
+		"qft_16", "qft_32", "qft_48",
+		"grover_20", "grover_25", "grover_30", "grover_35",
+		"shor_33_2", "shor_55_2", "shor_69_4", "shor_221_4", "shor_247_4",
+		"jellium_2x2", "jellium_3x3",
+		"supremacy_4x4_10", "supremacy_5x4_10", "supremacy_5x5_10",
+	}
+}

@@ -1,0 +1,172 @@
+package algo
+
+import (
+	"fmt"
+
+	"weaksim/internal/circuit"
+	"weaksim/internal/gate"
+)
+
+// Shor returns the order-finding circuit of Shor's algorithm for
+// factorizing N with coprime base a, matching the paper's shor_N_a
+// benchmarks. With n = bits(N) the circuit uses 3n qubits: the work
+// register on qubits 0..n-1 (initialized to |1⟩) and the 2n-qubit counting
+// register on qubits n..3n-1. Modular exponentiation is realized as a
+// cascade of controlled modular-multiplication permutations (|x⟩ →
+// |x·a^{2^k} mod N⟩ for x < N, identity above N), followed by the inverse
+// QFT on the counting register. Measuring the counting register yields
+// phase estimates s/r of the order r of a modulo N.
+func Shor(N, a uint64) (*circuit.Circuit, error) {
+	if N < 3 {
+		return nil, fmt.Errorf("algo: N must be at least 3, got %d", N)
+	}
+	if a < 2 || a >= N {
+		return nil, fmt.Errorf("algo: base a=%d must lie in [2, N)", a)
+	}
+	if g := GCD(a, N); g != 1 {
+		return nil, fmt.Errorf("algo: base a=%d shares factor %d with N=%d", a, g, N)
+	}
+	n := BitLen(N)
+	c := circuit.New(3*n, fmt.Sprintf("shor_%d_%d", N, a))
+
+	// Work register |1⟩.
+	c.X(0)
+	// Counting register in uniform superposition.
+	for k := 0; k < 2*n; k++ {
+		c.H(n + k)
+	}
+	// Controlled multiplications by a^(2^k) mod N.
+	factor := a % N
+	for k := 0; k < 2*n; k++ {
+		perm := modMulPermutation(factor, N, n)
+		label := fmt.Sprintf("modmul_%d^2^%d_mod_%d", a, k, N)
+		c.Permutation(perm, n, label, gate.Pos(n+k))
+		factor = factor * factor % N
+	}
+	// Inverse QFT on the counting register.
+	AppendInverseQFT(c, n, 2*n)
+	return c, nil
+}
+
+// modMulPermutation builds the permutation x → x·f mod N on the 2^width
+// work-register states, acting as the identity on states ≥ N. It is a
+// bijection because f is a unit modulo N.
+func modMulPermutation(f, N uint64, width int) []uint64 {
+	size := uint64(1) << uint(width)
+	perm := make([]uint64, size)
+	for x := uint64(0); x < size; x++ {
+		if x < N {
+			perm[x] = x * f % N
+		} else {
+			perm[x] = x
+		}
+	}
+	return perm
+}
+
+// ShorCountingBits returns the number of counting-register bits for N,
+// which is also the bit offset of the counting register in the circuit.
+func ShorCountingBits(N uint64) (workBits, countBits int) {
+	n := BitLen(N)
+	return n, 2 * n
+}
+
+// BitLen returns the number of bits needed to represent v.
+func BitLen(v uint64) int {
+	n := 0
+	for ; v > 0; v >>= 1 {
+		n++
+	}
+	return n
+}
+
+// GCD returns the greatest common divisor of a and b.
+func GCD(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// ModPow returns base^exp mod m using binary exponentiation.
+func ModPow(base, exp, m uint64) uint64 {
+	if m == 1 {
+		return 0
+	}
+	result := uint64(1)
+	base %= m
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = result * base % m
+		}
+		base = base * base % m
+		exp >>= 1
+	}
+	return result
+}
+
+// MultiplicativeOrder returns the order of a modulo N: the smallest r ≥ 1
+// with a^r ≡ 1 (mod N). a must be coprime to N.
+func MultiplicativeOrder(a, N uint64) (uint64, error) {
+	if GCD(a, N) != 1 {
+		return 0, fmt.Errorf("algo: %d is not a unit modulo %d", a, N)
+	}
+	v := a % N
+	for r := uint64(1); r <= N; r++ {
+		if v == 1 {
+			return r, nil
+		}
+		v = v * a % N
+	}
+	return 0, fmt.Errorf("algo: no order found for %d mod %d", a, N)
+}
+
+// ContinuedFractionDenominators returns the denominators of the continued-
+// fraction convergents of num/den, capped at maxDen. Shor's classical
+// post-processing scans them for the order r.
+func ContinuedFractionDenominators(num, den, maxDen uint64) []uint64 {
+	var dens []uint64
+	// Convergent recurrence: q_k = a_k*q_{k-1} + q_{k-2} with q_{-2} = 1,
+	// q_{-1} = 0.
+	var qPrev, qCur uint64 = 1, 0
+	for den != 0 {
+		a := num / den
+		num, den = den, num%den
+		qPrev, qCur = qCur, a*qCur+qPrev
+		if qCur > maxDen {
+			break
+		}
+		dens = append(dens, qCur)
+	}
+	return dens
+}
+
+// FactorFromMeasurement attempts to extract a non-trivial factor of N from
+// one measurement y of the 2n-bit counting register (the classical
+// post-processing of Shor's algorithm). It returns 0 when the measurement
+// is uninformative — callers retry with further samples, exactly as a
+// physical quantum computer would be used.
+func FactorFromMeasurement(N, a, y uint64, countBits int) uint64 {
+	if y == 0 {
+		return 0
+	}
+	den := uint64(1) << uint(countBits)
+	for _, r := range ContinuedFractionDenominators(y, den, N) {
+		if r == 0 || ModPow(a, r, N) != 1 {
+			continue
+		}
+		if r%2 != 0 {
+			continue
+		}
+		half := ModPow(a, r/2, N)
+		if half == N-1 {
+			continue
+		}
+		for _, cand := range []uint64{GCD(half-1, N), GCD(half+1, N)} {
+			if cand != 1 && cand != N && N%cand == 0 {
+				return cand
+			}
+		}
+	}
+	return 0
+}

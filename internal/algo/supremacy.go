@@ -1,0 +1,132 @@
+package algo
+
+import (
+	"fmt"
+
+	"weaksim/internal/circuit"
+	"weaksim/internal/gate"
+	"weaksim/internal/rng"
+)
+
+// SupremacyParams configures a GRCS-style random circuit on a Rows×Cols
+// qubit grid (Boixo et al., "Characterizing quantum supremacy in near-term
+// devices", Nature Physics 2018 — the paper's reference [27]). The original
+// instance files (github.com/sboixo/GRCS) are not available offline, so the
+// generator reimplements the published construction rules from a seed; see
+// DESIGN.md for the substitution note.
+type SupremacyParams struct {
+	Rows, Cols int
+	// Depth is the number of CZ clock cycles after the initial Hadamard
+	// layer (the paper's benchmarks use 10).
+	Depth int
+	// Seed drives the random single-qubit gate choices.
+	Seed uint64
+}
+
+// Supremacy returns the supremacy_RxC_D benchmark circuit built by the
+// GRCS rules:
+//
+//  1. A Hadamard on every qubit.
+//  2. In each of Depth clock cycles, a staggered layer of CZ gates chosen
+//     from eight repeating patterns that together cover every grid bond.
+//  3. Single-qubit gates from {T, √X, √Y} on qubits idle in the current CZ
+//     layer that participated in the previous cycle's CZ layer; the first
+//     single-qubit gate on a qubit is always T, and a qubit never repeats
+//     its previous single-qubit gate.
+func Supremacy(p SupremacyParams) (*circuit.Circuit, error) {
+	if p.Rows < 2 || p.Cols < 2 {
+		return nil, fmt.Errorf("algo: supremacy grid must be at least 2x2, got %dx%d", p.Rows, p.Cols)
+	}
+	if p.Depth < 1 {
+		return nil, fmt.Errorf("algo: supremacy depth must be positive, got %d", p.Depth)
+	}
+	n := p.Rows * p.Cols
+	c := circuit.New(n, fmt.Sprintf("supremacy_%dx%d_%d", p.Rows, p.Cols, p.Depth))
+	r := rng.New(p.Seed)
+	qubit := func(row, col int) int { return row*p.Cols + col }
+
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+
+	// Bookkeeping for the single-qubit gate rules.
+	hadT := make([]bool, n) // qubit already received its first T
+	lastGate := make([]gate.Kind, n)
+	for q := range lastGate {
+		lastGate[q] = gate.H
+	}
+	inPrevCZ := make([]bool, n)
+
+	// The eight CZ patterns, ordered to alternate horizontal and vertical
+	// staggers as in the GRCS layouts.
+	patternOrder := []int{0, 4, 1, 5, 2, 6, 3, 7}
+
+	for cycle := 0; cycle < p.Depth; cycle++ {
+		pattern := patternOrder[cycle%8]
+		inCZ := make([]bool, n)
+		var pairs [][2]int
+		if pattern < 4 {
+			// Horizontal bonds staggered by column and row parity.
+			colPar, rowPar := pattern%2, pattern/2
+			for row := 0; row < p.Rows; row++ {
+				if row%2 != rowPar {
+					continue
+				}
+				for col := colPar; col+1 < p.Cols; col += 2 {
+					pairs = append(pairs, [2]int{qubit(row, col), qubit(row, col+1)})
+				}
+			}
+		} else {
+			rowPar, colPar := pattern%2, (pattern-4)/2
+			for col := 0; col < p.Cols; col++ {
+				if col%2 != colPar {
+					continue
+				}
+				for row := rowPar; row+1 < p.Rows; row += 2 {
+					pairs = append(pairs, [2]int{qubit(row, col), qubit(row+1, col)})
+				}
+			}
+		}
+		for _, pr := range pairs {
+			c.CZ(pr[0], pr[1])
+			inCZ[pr[0]], inCZ[pr[1]] = true, true
+		}
+
+		// Single-qubit gates on qubits idle this cycle that had a CZ in
+		// the previous cycle.
+		for q := 0; q < n; q++ {
+			if inCZ[q] || !inPrevCZ[q] {
+				continue
+			}
+			g := pickSupremacyGate(r, hadT[q], lastGate[q])
+			switch g {
+			case gate.T:
+				c.T(q)
+				hadT[q] = true
+			case gate.SX:
+				c.Apply(gate.SXGate, q)
+			case gate.SY:
+				c.Apply(gate.SYGate, q)
+			}
+			lastGate[q] = g
+		}
+		inPrevCZ = inCZ
+	}
+	return c, nil
+}
+
+// pickSupremacyGate applies the GRCS single-qubit gate rules: the first
+// gate is always T; afterwards draw uniformly from {T, √X, √Y} minus the
+// qubit's previous gate.
+func pickSupremacyGate(r *rng.RNG, hadT bool, last gate.Kind) gate.Kind {
+	if !hadT {
+		return gate.T
+	}
+	choices := make([]gate.Kind, 0, 2)
+	for _, k := range []gate.Kind{gate.T, gate.SX, gate.SY} {
+		if k != last {
+			choices = append(choices, k)
+		}
+	}
+	return choices[r.IntN(len(choices))]
+}

@@ -1,0 +1,234 @@
+package circuit
+
+import (
+	"math"
+
+	"weaksim/internal/gate"
+)
+
+// OptimizeResult reports what the optimizer did.
+type OptimizeResult struct {
+	// CancelledPairs counts removed adjacent self-inverse pairs (X·X,
+	// H·H, CX·CX, S·S†, ...).
+	CancelledPairs int
+	// MergedRotations counts rotation pairs folded into one gate.
+	MergedRotations int
+	// RemovedIdentities counts dropped identity gates (id, zero-angle
+	// rotations, merged rotations that summed to a full turn).
+	RemovedIdentities int
+}
+
+// Total returns the number of eliminated operations.
+func (r OptimizeResult) Total() int {
+	return 2*r.CancelledPairs + r.MergedRotations + r.RemovedIdentities
+}
+
+const angleEps = 1e-12
+
+// Optimize rewrites the circuit in place with exact, semantics-preserving
+// local simplifications:
+//
+//   - adjacent self-inverse gates on identical qubits/controls cancel
+//     (X·X, Y·Y, Z·Z, H·H, and controlled versions), as do S·S† and T·T†;
+//   - adjacent rotations of the same family on identical qubits/controls
+//     merge (RX(a)·RX(b) → RX(a+b), likewise RY, RZ, Phase);
+//   - identity gates disappear: the id gate, zero-angle rotations, Phase
+//     multiples of 2π, and R-rotations that are multiples of 4π (2π
+//     R-rotations are −I, a global phase that is observable for controlled
+//     gates, so they are kept).
+//
+// Two operations count as adjacent when no operation in between touches any
+// of their qubits; barriers fence optimization (they touch every qubit).
+// Optimization never changes any amplitude of the simulated state.
+func Optimize(c *Circuit) OptimizeResult {
+	var res OptimizeResult
+	for {
+		changed := false
+		removed := make([]bool, len(c.Ops))
+
+		// Drop identity gates first.
+		for i, op := range c.Ops {
+			if op.Kind == GateOp && isIdentityGate(op.Gate) {
+				removed[i] = true
+				res.RemovedIdentities++
+				changed = true
+			}
+		}
+
+		for i := 0; i < len(c.Ops); i++ {
+			if removed[i] || c.Ops[i].Kind != GateOp {
+				continue
+			}
+			j, blocked := nextTouching(c, removed, i)
+			if blocked || j < 0 || c.Ops[j].Kind != GateOp {
+				continue
+			}
+			a, b := c.Ops[i], c.Ops[j]
+			if !sameOperands(a, b) {
+				continue
+			}
+			switch {
+			case cancels(a.Gate, b.Gate):
+				removed[i], removed[j] = true, true
+				res.CancelledPairs++
+				changed = true
+			case mergeable(a.Gate, b.Gate):
+				sum := a.Gate.Params[0] + b.Gate.Params[0]
+				removed[i] = true
+				changed = true
+				if rotationIsIdentity(a.Gate.Kind, sum) {
+					removed[j] = true
+					res.RemovedIdentities++
+					res.MergedRotations++
+				} else {
+					c.Ops[j].Gate = gate.New(a.Gate.Kind, sum)
+					res.MergedRotations++
+				}
+			}
+		}
+
+		if !changed {
+			return res
+		}
+		compact(c, removed)
+	}
+}
+
+// nextTouching returns the index of the first later operation sharing a
+// qubit with op i. blocked reports that the touching op overlaps only
+// partially (or is a barrier/permutation), so no rewrite may jump it.
+func nextTouching(c *Circuit, removed []bool, i int) (j int, blocked bool) {
+	qs := opQubits(c, c.Ops[i])
+	for j = i + 1; j < len(c.Ops); j++ {
+		if removed[j] {
+			continue
+		}
+		other := opQubits(c, c.Ops[j])
+		if !overlap(qs, other) {
+			continue
+		}
+		if c.Ops[j].Kind != GateOp {
+			return j, true
+		}
+		return j, false
+	}
+	return -1, false
+}
+
+func opQubits(c *Circuit, op Op) map[int]bool {
+	qs := make(map[int]bool)
+	switch op.Kind {
+	case GateOp:
+		qs[op.Target] = true
+		for _, ctl := range op.Controls {
+			qs[ctl.Qubit] = true
+		}
+	case PermutationOp:
+		for q := 0; q < op.PermWidth; q++ {
+			qs[q] = true
+		}
+		for _, ctl := range op.Controls {
+			qs[ctl.Qubit] = true
+		}
+	case BarrierOp:
+		for q := 0; q < c.NQubits; q++ {
+			qs[q] = true
+		}
+	}
+	return qs
+}
+
+func overlap(a, b map[int]bool) bool {
+	for q := range a {
+		if b[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// sameOperands reports whether two gate ops act on the identical target and
+// control set (order-insensitive, polarity-sensitive).
+func sameOperands(a, b Op) bool {
+	if a.Target != b.Target || len(a.Controls) != len(b.Controls) {
+		return false
+	}
+	for _, ca := range a.Controls {
+		found := false
+		for _, cb := range b.Controls {
+			if ca == cb {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// cancels reports whether g·h is exactly the identity.
+func cancels(a, b gate.Gate) bool {
+	switch a.Kind {
+	case gate.X, gate.Y, gate.Z, gate.H:
+		return b.Kind == a.Kind
+	case gate.S:
+		return b.Kind == gate.Sdg
+	case gate.Sdg:
+		return b.Kind == gate.S
+	case gate.T:
+		return b.Kind == gate.Tdg
+	case gate.Tdg:
+		return b.Kind == gate.T
+	case gate.RX, gate.RY, gate.RZ, gate.Phase:
+		return b.Kind == a.Kind && rotationIsIdentity(a.Kind, a.Params[0]+b.Params[0])
+	default:
+		return false
+	}
+}
+
+func mergeable(a, b gate.Gate) bool {
+	switch a.Kind {
+	case gate.RX, gate.RY, gate.RZ, gate.Phase:
+		return b.Kind == a.Kind
+	default:
+		return false
+	}
+}
+
+// rotationIsIdentity reports whether the given angle makes the rotation
+// family exactly the identity operator (not merely identity up to global
+// phase, which matters for controlled gates).
+func rotationIsIdentity(kind gate.Kind, theta float64) bool {
+	period := 2 * math.Pi
+	if kind == gate.RX || kind == gate.RY || kind == gate.RZ {
+		period = 4 * math.Pi // R(2π) = −I, only 4π returns to +I
+	}
+	m := math.Mod(theta, period)
+	if m < 0 {
+		m += period
+	}
+	return m < angleEps || period-m < angleEps
+}
+
+func isIdentityGate(g gate.Gate) bool {
+	switch g.Kind {
+	case gate.I:
+		return true
+	case gate.RX, gate.RY, gate.RZ, gate.Phase:
+		return rotationIsIdentity(g.Kind, g.Params[0])
+	default:
+		return false
+	}
+}
+
+func compact(c *Circuit, removed []bool) {
+	out := c.Ops[:0]
+	for i, op := range c.Ops {
+		if !removed[i] {
+			out = append(out, op)
+		}
+	}
+	c.Ops = out
+}

@@ -1,0 +1,145 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"weaksim/internal/gate"
+)
+
+func TestOptimizeCancelsSelfInversePairs(t *testing.T) {
+	c := New(3, "cancel")
+	c.X(0).X(0)                   // cancels
+	c.H(1).H(1)                   // cancels
+	c.CX(0, 2).CX(0, 2)           // cancels
+	c.S(1).Apply(gate.SdgGate, 1) // cancels
+	c.T(2)                        // survives
+	res := Optimize(c)
+	if res.CancelledPairs != 4 {
+		t.Errorf("CancelledPairs = %d, want 4", res.CancelledPairs)
+	}
+	if got := c.NumOps(); got != 1 {
+		t.Errorf("NumOps after optimize = %d, want 1:\n%s", got, c)
+	}
+	if c.Ops[0].Gate.Kind != gate.T {
+		t.Errorf("surviving op is %v, want t", c.Ops[0].Gate)
+	}
+}
+
+func TestOptimizeMergesRotations(t *testing.T) {
+	c := New(2, "merge")
+	c.RZ(0.3, 0).RZ(0.4, 0)        // merge to RZ(0.7)
+	c.P(0.2, 1).P(-0.2, 1)         // merge to identity → removed
+	c.CP(0.5, 0, 1).CP(0.25, 0, 1) // controlled merge to CP(0.75)
+	res := Optimize(c)
+	if res.MergedRotations != 2 {
+		t.Errorf("MergedRotations = %d, want 2", res.MergedRotations)
+	}
+	if res.CancelledPairs != 1 {
+		t.Errorf("CancelledPairs = %d, want 1 (the P(±0.2) pair)", res.CancelledPairs)
+	}
+	if got := c.NumOps(); got != 2 {
+		t.Fatalf("NumOps = %d, want 2:\n%s", got, c)
+	}
+	if p := c.Ops[0].Gate.Params[0]; math.Abs(p-0.7) > 1e-12 {
+		t.Errorf("merged RZ angle = %v, want 0.7", p)
+	}
+	if p := c.Ops[1].Gate.Params[0]; math.Abs(p-0.75) > 1e-12 {
+		t.Errorf("merged CP angle = %v, want 0.75", p)
+	}
+}
+
+func TestOptimizeRespectsInterveningOps(t *testing.T) {
+	c := New(2, "blocked")
+	c.X(0).CX(1, 0).X(0) // the CX touches q0: the X pair must NOT cancel
+	res := Optimize(c)
+	if res.Total() != 0 {
+		t.Errorf("optimizer rewrote across a blocking op: %+v\n%s", res, c)
+	}
+	if c.NumOps() != 3 {
+		t.Errorf("NumOps = %d, want 3", c.NumOps())
+	}
+}
+
+func TestOptimizeSkipsDistinctControls(t *testing.T) {
+	c := New(3, "controls")
+	c.Apply(gate.XGate, 0, gate.Pos(1))
+	c.Apply(gate.XGate, 0, gate.Neg(1)) // different polarity: no cancel
+	Optimize(c)
+	if c.NumOps() != 2 {
+		t.Errorf("NumOps = %d, want 2 (polarity differs)", c.NumOps())
+	}
+}
+
+func TestOptimizeBarrierFences(t *testing.T) {
+	c := New(1, "fence")
+	c.H(0).Barrier().H(0)
+	res := Optimize(c)
+	if res.CancelledPairs != 0 {
+		t.Error("optimizer cancelled across a barrier")
+	}
+}
+
+func TestOptimizeKeeps2PiControlledRotation(t *testing.T) {
+	// R(2π) == −I: as a controlled gate this is a real phase, not identity.
+	c := New(2, "phase2pi")
+	c.Apply(gate.RZGate(math.Pi), 0, gate.Pos(1))
+	c.Apply(gate.RZGate(math.Pi), 0, gate.Pos(1))
+	Optimize(c)
+	if c.NumOps() != 1 {
+		t.Fatalf("NumOps = %d, want 1 (merged, not removed)", c.NumOps())
+	}
+	if p := c.Ops[0].Gate.Params[0]; math.Abs(p-2*math.Pi) > 1e-12 {
+		t.Errorf("merged angle %v, want 2π", p)
+	}
+	// A full 4π turn IS the identity.
+	c2 := New(2, "phase4pi")
+	c2.Apply(gate.RZGate(2*math.Pi), 0, gate.Pos(1))
+	c2.Apply(gate.RZGate(2*math.Pi), 0, gate.Pos(1))
+	Optimize(c2)
+	if c2.NumOps() != 0 {
+		t.Errorf("4π rotation not removed: %d ops", c2.NumOps())
+	}
+}
+
+func TestOptimizeRemovesIdentities(t *testing.T) {
+	c := New(2, "ids")
+	c.Apply(gate.IDGate, 0)
+	c.RX(0, 1)
+	c.P(2*math.Pi, 0)
+	c.H(1)
+	res := Optimize(c)
+	if res.RemovedIdentities != 3 {
+		t.Errorf("RemovedIdentities = %d, want 3", res.RemovedIdentities)
+	}
+	if c.NumOps() != 1 {
+		t.Errorf("NumOps = %d, want 1", c.NumOps())
+	}
+}
+
+func TestOptimizeCascades(t *testing.T) {
+	// Removing the inner pair exposes the outer pair: needs the fixpoint
+	// loop.
+	c := New(1, "cascade")
+	c.H(0).X(0).X(0).H(0)
+	res := Optimize(c)
+	if res.CancelledPairs != 2 {
+		t.Errorf("CancelledPairs = %d, want 2", res.CancelledPairs)
+	}
+	if c.NumOps() != 0 {
+		t.Errorf("NumOps = %d, want 0", c.NumOps())
+	}
+}
+
+func TestOptimizeCommutingDisjointGates(t *testing.T) {
+	// Gates on disjoint qubits in between do not block cancellation.
+	c := New(3, "disjoint")
+	c.X(0).H(1).T(2).X(0)
+	res := Optimize(c)
+	if res.CancelledPairs != 1 {
+		t.Errorf("CancelledPairs = %d, want 1 (disjoint ops commute)", res.CancelledPairs)
+	}
+	if c.NumOps() != 2 {
+		t.Errorf("NumOps = %d, want 2", c.NumOps())
+	}
+}

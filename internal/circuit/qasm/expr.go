@@ -1,0 +1,172 @@
+package qasm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// evalExpr evaluates an OpenQASM parameter expression: floating literals,
+// the constant pi, unary minus, + - * / ^, and parentheses.
+func evalExpr(src string) (float64, error) {
+	e := &exprParser{src: src}
+	v, err := e.parseSum()
+	if err != nil {
+		return 0, err
+	}
+	e.skipSpace()
+	if e.pos != len(e.src) {
+		return 0, fmt.Errorf("trailing input at %q", e.src[e.pos:])
+	}
+	return v, nil
+}
+
+type exprParser struct {
+	src string
+	pos int
+}
+
+func (e *exprParser) skipSpace() {
+	for e.pos < len(e.src) && (e.src[e.pos] == ' ' || e.src[e.pos] == '\t') {
+		e.pos++
+	}
+}
+
+func (e *exprParser) peek() byte {
+	e.skipSpace()
+	if e.pos >= len(e.src) {
+		return 0
+	}
+	return e.src[e.pos]
+}
+
+func (e *exprParser) parseSum() (float64, error) {
+	v, err := e.parseProduct()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch e.peek() {
+		case '+':
+			e.pos++
+			w, err := e.parseProduct()
+			if err != nil {
+				return 0, err
+			}
+			v += w
+		case '-':
+			e.pos++
+			w, err := e.parseProduct()
+			if err != nil {
+				return 0, err
+			}
+			v -= w
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (e *exprParser) parseProduct() (float64, error) {
+	v, err := e.parseUnary()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch e.peek() {
+		case '*':
+			e.pos++
+			w, err := e.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			v *= w
+		case '/':
+			e.pos++
+			w, err := e.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			if w == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			v /= w
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (e *exprParser) parseUnary() (float64, error) {
+	switch e.peek() {
+	case '-':
+		e.pos++
+		v, err := e.parseUnary()
+		return -v, err
+	case '+':
+		e.pos++
+		return e.parseUnary()
+	}
+	return e.parsePower()
+}
+
+func (e *exprParser) parsePower() (float64, error) {
+	v, err := e.parseAtom()
+	if err != nil {
+		return 0, err
+	}
+	if e.peek() == '^' {
+		e.pos++
+		w, err := e.parseUnary()
+		if err != nil {
+			return 0, err
+		}
+		return math.Pow(v, w), nil
+	}
+	return v, nil
+}
+
+func (e *exprParser) parseAtom() (float64, error) {
+	c := e.peek()
+	switch {
+	case c == '(':
+		e.pos++
+		v, err := e.parseSum()
+		if err != nil {
+			return 0, err
+		}
+		if e.peek() != ')' {
+			return 0, fmt.Errorf("missing closing parenthesis")
+		}
+		e.pos++
+		return v, nil
+	case c >= '0' && c <= '9' || c == '.':
+		start := e.pos
+		for e.pos < len(e.src) {
+			c := e.src[e.pos]
+			if c >= '0' && c <= '9' || c == '.' || c == 'e' || c == 'E' {
+				e.pos++
+				continue
+			}
+			// Exponent sign.
+			if (c == '+' || c == '-') && e.pos > start &&
+				(e.src[e.pos-1] == 'e' || e.src[e.pos-1] == 'E') {
+				e.pos++
+				continue
+			}
+			break
+		}
+		return strconv.ParseFloat(e.src[start:e.pos], 64)
+	case c == 'p' || c == 'P':
+		if strings.HasPrefix(strings.ToLower(e.src[e.pos:]), "pi") {
+			e.pos += 2
+			return math.Pi, nil
+		}
+		return 0, fmt.Errorf("unknown identifier at %q", e.src[e.pos:])
+	case c == 0:
+		return 0, fmt.Errorf("unexpected end of expression")
+	default:
+		return 0, fmt.Errorf("unexpected character %q", string(c))
+	}
+}

@@ -1,0 +1,105 @@
+package qasm
+
+import (
+	"fmt"
+	"strings"
+
+	"weaksim/internal/circuit"
+	"weaksim/internal/gate"
+)
+
+// Write renders a circuit as OpenQASM 2.0 with a single register q[n].
+// Operations without a QASM 2.0 counterpart — permutations and gates with
+// more than two controls or with negative controls — yield an error; such
+// circuits (Shor's modular arithmetic, Grover's wide oracles) are native to
+// this simulator's IR and cannot round-trip through QASM 2.0.
+func Write(c *circuit.Circuit) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// %s\n", c.Name)
+	b.WriteString("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n")
+	fmt.Fprintf(&b, "qreg q[%d];\ncreg c[%d];\n", c.NQubits, c.NQubits)
+	for i, op := range c.Ops {
+		switch op.Kind {
+		case circuit.BarrierOp:
+			b.WriteString("barrier q;\n")
+		case circuit.PermutationOp:
+			return "", fmt.Errorf("qasm: op %d (%s) has no OpenQASM 2.0 form", i, circuit.OpString(op))
+		case circuit.GateOp:
+			line, err := writeGate(op)
+			if err != nil {
+				return "", fmt.Errorf("qasm: op %d: %v", i, err)
+			}
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	for q := 0; q < c.NQubits; q++ {
+		fmt.Fprintf(&b, "measure q[%d] -> c[%d];\n", q, q)
+	}
+	return b.String(), nil
+}
+
+func writeGate(op circuit.Op) (string, error) {
+	for _, ctl := range op.Controls {
+		if ctl.Negative {
+			return "", fmt.Errorf("negative control on %s", circuit.OpString(op))
+		}
+	}
+	params := func() string {
+		n := op.Gate.NumParams()
+		if n == 0 {
+			return ""
+		}
+		parts := make([]string, n)
+		for i := 0; i < n; i++ {
+			parts[i] = fmt.Sprintf("%.17g", op.Gate.Params[i])
+		}
+		return "(" + strings.Join(parts, ",") + ")"
+	}
+	operand := func(qs ...int) string {
+		parts := make([]string, len(qs))
+		for i, q := range qs {
+			parts[i] = fmt.Sprintf("q[%d]", q)
+		}
+		return strings.Join(parts, ",")
+	}
+
+	switch len(op.Controls) {
+	case 0:
+		return fmt.Sprintf("%s%s %s;", op.Gate.Name(), params(), operand(op.Target)), nil
+	case 1:
+		ctl := op.Controls[0].Qubit
+		switch op.Gate.Kind {
+		case gate.X:
+			return fmt.Sprintf("cx %s;", operand(ctl, op.Target)), nil
+		case gate.Y:
+			return fmt.Sprintf("cy %s;", operand(ctl, op.Target)), nil
+		case gate.Z:
+			return fmt.Sprintf("cz %s;", operand(ctl, op.Target)), nil
+		case gate.H:
+			return fmt.Sprintf("ch %s;", operand(ctl, op.Target)), nil
+		case gate.Phase:
+			return fmt.Sprintf("cp%s %s;", params(), operand(ctl, op.Target)), nil
+		case gate.RX:
+			return fmt.Sprintf("crx%s %s;", params(), operand(ctl, op.Target)), nil
+		case gate.RY:
+			return fmt.Sprintf("cry%s %s;", params(), operand(ctl, op.Target)), nil
+		case gate.RZ:
+			return fmt.Sprintf("crz%s %s;", params(), operand(ctl, op.Target)), nil
+		default:
+			return "", fmt.Errorf("no QASM form for controlled %s", op.Gate.Name())
+		}
+	case 2:
+		c1, c2 := op.Controls[0].Qubit, op.Controls[1].Qubit
+		switch op.Gate.Kind {
+		case gate.X:
+			return fmt.Sprintf("ccx %s;", operand(c1, c2, op.Target)), nil
+		case gate.Z:
+			return fmt.Sprintf("ccz %s;", operand(c1, c2, op.Target)), nil
+		default:
+			return "", fmt.Errorf("no QASM form for doubly-controlled %s", op.Gate.Name())
+		}
+	default:
+		return "", fmt.Errorf("gate with %d controls has no QASM 2.0 form", len(op.Controls))
+	}
+}

@@ -1,0 +1,116 @@
+package circuit
+
+import (
+	"fmt"
+	"strings"
+
+	"weaksim/internal/gate"
+)
+
+// Render draws the circuit as an ASCII diagram in the style of the paper's
+// Fig. 1: one horizontal wire per qubit (most significant on top),
+// operations applied left to right, controls drawn as '*' ('o' for negative
+// controls), X targets as '(+)', and a terminal measurement box on every
+// wire. Permutation operations are drawn as labeled multi-qubit boxes.
+func (c *Circuit) Render() string {
+	const (
+		wire = "---"
+		gap  = "   "
+	)
+	rows := make([]strings.Builder, c.NQubits)
+	for q := 0; q < c.NQubits; q++ {
+		fmt.Fprintf(&rows[q], "|q%-2d> ", q)
+	}
+
+	pad := func() {
+		width := 0
+		for q := range rows {
+			if rows[q].Len() > width {
+				width = rows[q].Len()
+			}
+		}
+		for q := range rows {
+			for rows[q].Len() < width {
+				rows[q].WriteByte('-')
+			}
+		}
+	}
+
+	for _, op := range c.Ops {
+		switch op.Kind {
+		case BarrierOp:
+			pad()
+			for q := range rows {
+				rows[q].WriteString("-|-")
+			}
+			continue
+		case PermutationOp:
+			pad()
+			label := op.Label
+			if label == "" {
+				label = "perm"
+			}
+			cell := "[" + label + "]"
+			for q := range rows {
+				switch {
+				case q < op.PermWidth:
+					rows[q].WriteString(wire + cell)
+				case hasControl(op.Controls, q):
+					rows[q].WriteString(wire + ctlMark(op.Controls, q) + strings.Repeat("-", len(cell)-1))
+				default:
+					rows[q].WriteString(wire + strings.Repeat("-", len(cell)))
+				}
+			}
+			continue
+		}
+		// Gate op.
+		pad()
+		cell := "[" + op.Gate.String() + "]"
+		if op.Gate.Name() == "x" && op.Gate.NumParams() == 0 && len(op.Controls) > 0 {
+			cell = "(+)"
+		}
+		for q := range rows {
+			switch {
+			case q == op.Target:
+				rows[q].WriteString(wire + cell)
+			case hasControl(op.Controls, q):
+				rows[q].WriteString(wire + ctlMark(op.Controls, q) + strings.Repeat("-", len(cell)-1))
+			default:
+				rows[q].WriteString(wire + strings.Repeat("-", len(cell)))
+			}
+		}
+	}
+	pad()
+	for q := range rows {
+		rows[q].WriteString(wire + "[M]==")
+	}
+
+	// Most significant qubit on top, as in the paper's figures.
+	var out strings.Builder
+	for q := c.NQubits - 1; q >= 0; q-- {
+		out.WriteString(rows[q].String())
+		out.WriteByte('\n')
+	}
+	return out.String()
+}
+
+func hasControl(controls []gate.Control, q int) bool {
+	for _, c := range controls {
+		if c.Qubit == q {
+			return true
+		}
+	}
+	return false
+}
+
+func ctlMark(controls []gate.Control, q int) string {
+	for _, c := range controls {
+		if c.Qubit == q {
+			if c.Negative {
+				return "o"
+			}
+			return "*"
+		}
+	}
+	return "-"
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"weaksim/internal/cnum"
+	"weaksim/internal/dd"
+)
+
+// Approximate prunes decision-diagram branches whose total traversal
+// probability falls below threshold and renormalizes the result. This
+// trades fidelity for a smaller diagram — the "weak simulation with some
+// error" regime the paper mentions as acceptable (Section III): samples
+// from the approximate state follow a distribution whose overlap with the
+// exact one equals the returned fidelity.
+//
+// The decision for each edge uses the upstream probability of its source
+// node and the downstream probability of its target (paper Section IV-B):
+// the edge's aggregate contribution to the measurement distribution. The
+// returned fidelity is |⟨approx|exact⟩|².
+func Approximate(m *dd.Manager, state dd.VEdge, threshold float64) (dd.VEdge, float64, error) {
+	if state.IsZero() {
+		return dd.VEdge{}, 0, fmt.Errorf("core: cannot approximate the zero vector")
+	}
+	if threshold < 0 || threshold >= 1 {
+		return dd.VEdge{}, 0, fmt.Errorf("core: threshold must lie in [0, 1), got %g", threshold)
+	}
+	if threshold == 0 {
+		return state, 1, nil
+	}
+	down := Downstream(m, state)
+	up := Upstream(m, state)
+
+	memo := make(map[*dd.VNode]dd.VEdge)
+	var rebuild func(n *dd.VNode, v int) dd.VEdge
+	rebuild = func(n *dd.VNode, v int) dd.VEdge {
+		if n == nil {
+			return dd.VEdge{W: cnum.One}
+		}
+		if e, ok := memo[n]; ok {
+			return e
+		}
+		var children [2]dd.VEdge
+		for i := 0; i < 2; i++ {
+			edge := n.E[i]
+			if edge.IsZero() {
+				continue
+			}
+			contribution := up[n] * edge.W.Abs2() * downOf(edge.N, down)
+			if contribution < threshold {
+				continue // prune
+			}
+			sub := rebuild(edge.N, v-1)
+			if sub.IsZero() {
+				continue
+			}
+			children[i] = dd.VEdge{W: m.Lookup(edge.W.Mul(sub.W)), N: sub.N}
+		}
+		e := m.MakeVNode(v, children[0], children[1])
+		memo[n] = e
+		return e
+	}
+	rebuilt := rebuild(state.N, m.Qubits()-1)
+	if rebuilt.IsZero() {
+		return dd.VEdge{}, 0, fmt.Errorf("core: threshold %g pruned the entire state", threshold)
+	}
+	approx := dd.VEdge{W: m.Lookup(state.W.Mul(rebuilt.W)), N: rebuilt.N}
+
+	// Renormalize.
+	norm2 := m.Norm2(approx)
+	if norm2 <= 0 {
+		return dd.VEdge{}, 0, fmt.Errorf("core: approximation lost all probability mass")
+	}
+	approx.W = m.Lookup(approx.W.Scale(1 / math.Sqrt(norm2)))
+	fidelity := m.Fidelity(approx, state)
+	return approx, fidelity, nil
+}

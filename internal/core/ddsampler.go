@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+
+	"weaksim/internal/dd"
+	"weaksim/internal/rng"
+)
+
+// Downstream computes the downstream probability of every node reachable
+// from root: the total probability mass of all half-paths from the node to
+// the terminal, assuming a unit incoming weight (paper Section IV-B,
+// computed by depth-first traversal). The terminal's downstream probability
+// is 1 and is not stored.
+//
+// Under the L2 normalization schemes every downstream probability is 1 up
+// to the interning tolerance; that invariant is what makes the fast
+// sampling path possible.
+func Downstream(m *dd.Manager, root dd.VEdge) map[*dd.VNode]float64 {
+	down := make(map[*dd.VNode]float64)
+	var dfs func(n *dd.VNode) float64
+	dfs = func(n *dd.VNode) float64 {
+		if n == nil {
+			return 1
+		}
+		if d, ok := down[n]; ok {
+			return d
+		}
+		var d float64
+		for i := 0; i < 2; i++ {
+			if e := n.E[i]; !e.IsZero() {
+				d += e.W.Abs2() * dfs(e.N)
+			}
+		}
+		down[n] = d
+		return d
+	}
+	dfs(root.N)
+	return down
+}
+
+// Upstream computes the upstream probability of every node reachable from
+// root: the total probability mass of all half-paths from the root to the
+// node (paper Section IV-B, computed by breadth-first, level-by-level
+// traversal). The root node's upstream probability is the squared magnitude
+// of the root edge weight.
+func Upstream(m *dd.Manager, root dd.VEdge) map[*dd.VNode]float64 {
+	up := make(map[*dd.VNode]float64)
+	if root.IsZero() || root.N == nil {
+		return up
+	}
+	up[root.N] = root.W.Abs2()
+	frontier := []*dd.VNode{root.N}
+	for len(frontier) > 0 {
+		var next []*dd.VNode
+		seen := make(map[*dd.VNode]bool)
+		for _, n := range frontier {
+			for i := 0; i < 2; i++ {
+				e := n.E[i]
+				if e.IsZero() || e.N == nil {
+					continue
+				}
+				if _, known := up[e.N]; !known {
+					up[e.N] = 0
+				}
+				up[e.N] += up[n] * e.W.Abs2()
+				if !seen[e.N] {
+					seen[e.N] = true
+					next = append(next, e.N)
+				}
+			}
+		}
+		frontier = next
+	}
+	return up
+}
+
+// EdgeProbabilities returns, for every node reachable from root, the
+// conditional probability of descending along the 0- and 1-successor when
+// drawing a sample (paper Fig. 4c): the product of the edge's squared
+// weight magnitude and the successor's downstream probability, renormalized
+// at the node. Entries sum to 1 for every node with non-zero mass.
+func EdgeProbabilities(m *dd.Manager, root dd.VEdge) map[*dd.VNode][2]float64 {
+	down := Downstream(m, root)
+	probs := make(map[*dd.VNode][2]float64, len(down))
+	for n := range down {
+		probs[n] = branchProbs(n, down)
+	}
+	return probs
+}
+
+func branchProbs(n *dd.VNode, down map[*dd.VNode]float64) [2]float64 {
+	var d [2]float64
+	for i := 0; i < 2; i++ {
+		if e := n.E[i]; !e.IsZero() {
+			d[i] = e.W.Abs2() * downOf(e.N, down)
+		}
+	}
+	total := d[0] + d[1]
+	if total <= 0 {
+		return [2]float64{}
+	}
+	return [2]float64{d[0] / total, d[1] / total}
+}
+
+func downOf(n *dd.VNode, down map[*dd.VNode]float64) float64 {
+	if n == nil {
+		return 1
+	}
+	return down[n]
+}
+
+// TraversalProbabilities returns the absolute probability that a sample's
+// root-to-terminal walk traverses each node: the product of the node's
+// upstream and downstream probabilities (paper Section IV-B). Probabilities
+// on one level sum to 1 (up to tolerance) for a normalized state.
+func TraversalProbabilities(m *dd.Manager, root dd.VEdge) map[*dd.VNode]float64 {
+	down := Downstream(m, root)
+	up := Upstream(m, root)
+	tp := make(map[*dd.VNode]float64, len(up))
+	for n, u := range up {
+		tp[n] = u * downOf(n, down)
+	}
+	return tp
+}
+
+// DDSampler draws measurement samples directly from a state decision
+// diagram (paper Section IV). Construction performs the linear-time
+// downstream precomputation; each Sample is a randomized O(n)
+// root-to-terminal walk. When the Manager uses an L2 normalization scheme
+// the precomputation is skipped entirely: the squared magnitudes of the
+// outgoing edge weights already are the branch probabilities (Section
+// IV-C).
+type DDSampler struct {
+	m    *dd.Manager
+	root dd.VEdge
+	down map[*dd.VNode]float64 // nil when the fast path is active
+	fast bool
+}
+
+// DDSamplerOption configures a DDSampler.
+type DDSamplerOption func(*ddSamplerConfig)
+
+type ddSamplerConfig struct {
+	forceGeneric bool
+}
+
+// ForceGeneric disables the L2 fast path even when the normalization scheme
+// would allow it, forcing the downstream precomputation. Used by the
+// ablation benchmarks.
+func ForceGeneric() DDSamplerOption {
+	return func(c *ddSamplerConfig) { c.forceGeneric = true }
+}
+
+// NewDDSampler prepares sampling from the given state DD.
+func NewDDSampler(m *dd.Manager, root dd.VEdge, opts ...DDSamplerOption) (*DDSampler, error) {
+	if root.IsZero() {
+		return nil, fmt.Errorf("core: cannot sample from the zero vector")
+	}
+	var cfg ddSamplerConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := &DDSampler{m: m, root: root}
+	norm := m.Normalization()
+	s.fast = !cfg.forceGeneric && (norm == dd.NormL2 || norm == dd.NormL2Phase)
+	if !s.fast {
+		s.down = Downstream(m, root)
+	}
+	return s, nil
+}
+
+// Qubits returns the sampled bitstring width.
+func (s *DDSampler) Qubits() int { return s.m.Qubits() }
+
+// FastPath reports whether the L2 normalization fast path is active.
+func (s *DDSampler) FastPath() bool { return s.fast }
+
+// Sample draws one basis-state index by a randomized root-to-terminal walk.
+func (s *DDSampler) Sample(r *rng.RNG) uint64 {
+	var idx uint64
+	e := s.root
+	for v := s.m.Qubits() - 1; v >= 0; v-- {
+		n := e.N
+		var p0 float64
+		if s.fast {
+			p0 = n.E[0].W.Abs2()
+		} else {
+			d0 := n.E[0].W.Abs2() * downOf(n.E[0].N, s.down)
+			d1 := n.E[1].W.Abs2() * downOf(n.E[1].N, s.down)
+			p0 = d0 / (d0 + d1)
+		}
+		if r.Float64() < p0 {
+			e = n.E[0]
+		} else {
+			e = n.E[1]
+			idx |= uint64(1) << uint(v)
+		}
+		if e.IsZero() {
+			// Floating-point slack put us on a zero edge; the other
+			// branch holds all the mass.
+			if idx&(uint64(1)<<uint(v)) != 0 {
+				idx &^= uint64(1) << uint(v)
+				e = n.E[0]
+			} else {
+				idx |= uint64(1) << uint(v)
+				e = n.E[1]
+			}
+		}
+	}
+	return idx
+}

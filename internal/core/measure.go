@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"weaksim/internal/cnum"
+	"weaksim/internal/dd"
+	"weaksim/internal/rng"
+)
+
+// MeasureAll performs a destructive measurement of all qubits: it samples
+// one basis state and returns it together with the collapsed post-
+// measurement state (a basis-state DD). Physical quantum computers only
+// offer this destructive operation; repeated non-destructive sampling is
+// the luxury of simulation (paper Section IV-B).
+func MeasureAll(m *dd.Manager, state dd.VEdge, r *rng.RNG) (uint64, dd.VEdge, error) {
+	s, err := NewDDSampler(m, state)
+	if err != nil {
+		return 0, dd.VEdge{}, err
+	}
+	idx := s.Sample(r)
+	return idx, m.BasisState(idx), nil
+}
+
+// QubitProbability returns the probability that measuring the given qubit
+// yields 1, computed from the upstream/downstream node probabilities in
+// time linear in the DD size.
+func QubitProbability(m *dd.Manager, state dd.VEdge, qubit int) (float64, error) {
+	if qubit < 0 || qubit >= m.Qubits() {
+		return 0, fmt.Errorf("core: qubit %d out of range", qubit)
+	}
+	norm := m.Norm2(state)
+	if norm <= 0 {
+		return 0, fmt.Errorf("core: cannot measure the zero vector")
+	}
+	down := Downstream(m, state)
+	up := Upstream(m, state)
+	var p1 float64
+	for n, u := range up {
+		if n.V != qubit {
+			continue
+		}
+		if e := n.E[1]; !e.IsZero() {
+			p1 += u * e.W.Abs2() * downOf(e.N, down)
+		}
+	}
+	return p1 / norm, nil
+}
+
+// MeasureQubit measures a single qubit, collapses the state accordingly,
+// and renormalizes. It returns the observed bit and the post-measurement
+// state DD.
+func MeasureQubit(m *dd.Manager, state dd.VEdge, qubit int, r *rng.RNG) (int, dd.VEdge, error) {
+	p1, err := QubitProbability(m, state, qubit)
+	if err != nil {
+		return 0, dd.VEdge{}, err
+	}
+	bit := 0
+	p := 1 - p1
+	if r.Float64() < p1 {
+		bit = 1
+		p = p1
+	}
+	collapsed, err := Project(m, state, qubit, bit)
+	if err != nil {
+		return 0, dd.VEdge{}, err
+	}
+	// Renormalize by the square root of the observed probability.
+	collapsed.W = m.Lookup(collapsed.W.Scale(1 / math.Sqrt(p*m.Norm2(state))))
+	return bit, collapsed, nil
+}
+
+// Project zeroes the branch of the given qubit that disagrees with bit,
+// without renormalizing. The result's squared norm equals the probability
+// of the projected outcome (for a normalized input state).
+func Project(m *dd.Manager, state dd.VEdge, qubit, bit int) (dd.VEdge, error) {
+	if qubit < 0 || qubit >= m.Qubits() {
+		return dd.VEdge{}, fmt.Errorf("core: qubit %d out of range", qubit)
+	}
+	if bit != 0 && bit != 1 {
+		return dd.VEdge{}, fmt.Errorf("core: bit must be 0 or 1")
+	}
+	memo := make(map[*dd.VNode]dd.VEdge)
+	var rec func(e dd.VEdge, v int) dd.VEdge
+	rec = func(e dd.VEdge, v int) dd.VEdge {
+		if e.IsZero() {
+			return dd.VEdge{}
+		}
+		if v < qubit {
+			return e
+		}
+		if sub, ok := memo[e.N]; ok {
+			return scaleEdge(m, sub, e.W)
+		}
+		var out dd.VEdge
+		if v == qubit {
+			kept := e.N.E[bit]
+			var children [2]dd.VEdge
+			children[bit] = kept
+			out = m.MakeVNode(v, children[0], children[1])
+		} else {
+			e0 := rec(e.N.E[0], v-1)
+			e1 := rec(e.N.E[1], v-1)
+			out = m.MakeVNode(v, e0, e1)
+		}
+		memo[e.N] = out
+		return scaleEdge(m, out, e.W)
+	}
+	return rec(state, m.Qubits()-1), nil
+}
+
+func scaleEdge(m *dd.Manager, e dd.VEdge, w cnum.Complex) dd.VEdge {
+	if e.IsZero() {
+		return dd.VEdge{}
+	}
+	return dd.VEdge{W: m.Lookup(e.W.Mul(w)), N: e.N}
+}

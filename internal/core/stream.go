@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"weaksim/internal/rng"
+)
+
+// The paper (Section III) notes that linear-traversal sampling — unlike
+// binary search — streams: it can sample from probability vectors far too
+// large for main memory, stored in out-of-core files. This file implements
+// that: probabilities serialized as little-endian float64s, and a sampler
+// that draws an entire batch of samples in a single sequential pass by
+// merging the sorted batch of uniform variates against the running prefix
+// sum.
+
+// WriteProbabilityStream serializes a probability vector as little-endian
+// float64s.
+func WriteProbabilityStream(w io.Writer, probs []float64) error {
+	bw := bufio.NewWriter(w)
+	var buf [8]byte
+	for _, p := range probs {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadProbabilityStream deserializes a probability vector written by
+// WriteProbabilityStream.
+func ReadProbabilityStream(r io.Reader) ([]float64, error) {
+	br := bufio.NewReader(r)
+	var probs []float64
+	var buf [8]byte
+	for {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return probs, nil
+			}
+			return nil, err
+		}
+		probs = append(probs, math.Float64frombits(binary.LittleEndian.Uint64(buf[:])))
+	}
+}
+
+// StreamCounts draws shots samples from a serialized probability stream in
+// one sequential pass and returns them tallied by index. The stream must
+// hold a normalized distribution (sum ≈ 1); any probability mass missing
+// due to rounding is assigned to the last entry with non-zero probability,
+// mirroring PrefixSampler's top guard.
+//
+// Memory use is O(shots), independent of the stream length — this is the
+// out-of-core regime where neither the prefix array nor the probabilities
+// fit in memory.
+func StreamCounts(src io.Reader, shots int, r *rng.RNG) (map[uint64]int, error) {
+	if shots < 1 {
+		return nil, fmt.Errorf("core: shots must be positive")
+	}
+	// Draw and sort the whole batch of uniforms up front; a single merge
+	// against the increasing prefix sums then serves all of them.
+	uniforms := make([]float64, shots)
+	for i := range uniforms {
+		uniforms[i] = r.Float64()
+	}
+	sort.Float64s(uniforms)
+
+	counts := make(map[uint64]int)
+	br := bufio.NewReaderSize(src, 1<<16)
+	var buf [8]byte
+	var prefix float64
+	var idx uint64
+	lastNonZero := int64(-1)
+	next := 0 // next uniform awaiting assignment
+	for {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, err
+		}
+		p := math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+		if p < 0 {
+			return nil, fmt.Errorf("core: negative probability %g at index %d", p, idx)
+		}
+		if p > 0 {
+			lastNonZero = int64(idx)
+		}
+		prefix += p
+		for next < shots && uniforms[next] < prefix {
+			counts[idx]++
+			next++
+		}
+		idx++
+		if next == shots {
+			// All samples assigned; drain is unnecessary.
+			return counts, nil
+		}
+	}
+	if lastNonZero < 0 {
+		return nil, fmt.Errorf("core: stream holds no probability mass")
+	}
+	// Rounding left a sliver of uniforms above the final prefix sum.
+	counts[uint64(lastNonZero)] += shots - next
+	return counts, nil
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"weaksim/internal/rng"
+	"weaksim/internal/stats"
+)
+
+func TestProbabilityStreamRoundtrip(t *testing.T) {
+	probs := runningExampleProbs()
+	var buf bytes.Buffer
+	if err := WriteProbabilityStream(&buf, probs); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 8*len(probs) {
+		t.Errorf("stream length %d, want %d", buf.Len(), 8*len(probs))
+	}
+	back, err := ReadProbabilityStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(probs) {
+		t.Fatalf("read %d entries, want %d", len(back), len(probs))
+	}
+	for i := range probs {
+		if back[i] != probs[i] {
+			t.Errorf("entry %d: %v != %v", i, back[i], probs[i])
+		}
+	}
+}
+
+func TestStreamCountsMatchesDistribution(t *testing.T) {
+	probs := runningExampleProbs()
+	var buf bytes.Buffer
+	if err := WriteProbabilityStream(&buf, probs); err != nil {
+		t.Fatal(err)
+	}
+	shots := 50000
+	counts, err := StreamCounts(&buf, shots, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for idx, c := range counts {
+		total += c
+		if probs[idx] == 0 {
+			t.Errorf("sampled impossible outcome %d", idx)
+		}
+	}
+	if total != shots {
+		t.Fatalf("tallied %d samples, want %d", total, shots)
+	}
+	res, err := stats.ChiSquareGOF(counts, probs, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 1e-6 {
+		t.Errorf("stream samples distinguishable: p=%v", res.PValue)
+	}
+}
+
+func TestStreamCountsFromFile(t *testing.T) {
+	// The out-of-core path the paper describes: probabilities in a file,
+	// sampled with O(shots) memory.
+	probs := []float64{0.1, 0, 0.4, 0.5}
+	path := filepath.Join(t.TempDir(), "probs.f64")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteProbabilityStream(f, probs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err = os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	counts, err := StreamCounts(f, 10000, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[1] != 0 {
+		t.Error("sampled zero-probability index 1")
+	}
+	if counts[3] < 4000 {
+		t.Errorf("index 3 sampled %d times, expected ≈5000", counts[3])
+	}
+}
+
+func TestStreamCountsRoundingSliver(t *testing.T) {
+	// A distribution summing to slightly below 1 must assign the sliver to
+	// the last non-zero entry.
+	probs := []float64{0.5, 0.5 - 1e-12, 0}
+	var buf bytes.Buffer
+	if err := WriteProbabilityStream(&buf, probs); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := StreamCounts(&buf, 1000, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[2] != 0 {
+		t.Error("sliver assigned to zero-probability tail entry")
+	}
+	if counts[0]+counts[1] != 1000 {
+		t.Errorf("lost samples: %v", counts)
+	}
+}
+
+func TestStreamCountsErrors(t *testing.T) {
+	var empty bytes.Buffer
+	if _, err := StreamCounts(&empty, 10, rng.New(1)); err == nil {
+		t.Error("expected error for empty stream")
+	}
+	var buf bytes.Buffer
+	WriteProbabilityStream(&buf, []float64{-0.5, 1.5})
+	if _, err := StreamCounts(&buf, 10, rng.New(1)); err == nil {
+		t.Error("expected error for negative probability")
+	}
+	var zero bytes.Buffer
+	WriteProbabilityStream(&zero, []float64{0, 0})
+	if _, err := StreamCounts(&zero, 10, rng.New(1)); err == nil {
+		t.Error("expected error for zero-mass stream")
+	}
+	var ok bytes.Buffer
+	WriteProbabilityStream(&ok, []float64{1})
+	if _, err := StreamCounts(&ok, 0, rng.New(1)); err == nil {
+		t.Error("expected error for zero shots")
+	}
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"weaksim/internal/cnum"
+	"weaksim/internal/rng"
+)
+
+// ProbabilitiesFromAmplitudes squares an amplitude vector into the Born
+// measurement distribution p_i = |α_i|² (paper Fig. 3a).
+func ProbabilitiesFromAmplitudes(amps []cnum.Complex) []float64 {
+	p := make([]float64, len(amps))
+	for i, a := range amps {
+		p[i] = a.Abs2()
+	}
+	return p
+}
+
+func qubitsForLen(n int) (int, error) {
+	q := 0
+	for l := n; l > 1; l >>= 1 {
+		if l&1 != 0 {
+			return 0, fmt.Errorf("core: distribution length %d is not a power of two", n)
+		}
+		q++
+	}
+	if n < 2 {
+		return 0, fmt.Errorf("core: distribution needs at least two entries")
+	}
+	return q, nil
+}
+
+func validateDistribution(probs []float64) (float64, error) {
+	var total float64
+	for i, p := range probs {
+		if p < 0 {
+			return 0, fmt.Errorf("core: negative probability %g at index %d", p, i)
+		}
+		total += p
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("core: distribution sums to %g", total)
+	}
+	return total, nil
+}
+
+// PrefixSampler performs biased random selection via binary search on a
+// prefix-sum array (paper Section III, Fig. 3). Precomputation is O(2^n);
+// each sample costs O(log 2^n) = O(n).
+type PrefixSampler struct {
+	prefix []float64
+	qubits int
+}
+
+// NewPrefixSampler precomputes the prefix sums of the distribution. The
+// distribution is normalized internally, so unnormalized weight vectors are
+// accepted.
+func NewPrefixSampler(probs []float64) (*PrefixSampler, error) {
+	q, err := qubitsForLen(len(probs))
+	if err != nil {
+		return nil, err
+	}
+	total, err := validateDistribution(probs)
+	if err != nil {
+		return nil, err
+	}
+	prefix := make([]float64, len(probs))
+	var run float64
+	for i, p := range probs {
+		run += p / total
+		prefix[i] = run
+	}
+	// Guard the top against rounding so every p̂ in [0,1) lands in range.
+	prefix[len(prefix)-1] = 1
+	return &PrefixSampler{prefix: prefix, qubits: q}, nil
+}
+
+// Qubits returns the sampled bitstring width.
+func (s *PrefixSampler) Qubits() int { return s.qubits }
+
+// Prefix exposes the prefix-sum array (read-only) for tests reproducing
+// the paper's Fig. 3.
+func (s *PrefixSampler) Prefix() []float64 { return s.prefix }
+
+// Sample draws p̂ uniformly from [0, 1) and returns the first index whose
+// prefix sum exceeds p̂ (paper Example 8).
+func (s *PrefixSampler) Sample(r *rng.RNG) uint64 {
+	return s.Select(r.Float64())
+}
+
+// Select performs the deterministic part of sampling for a given p̂,
+// exposed so tests can reproduce the paper's worked example (p̂ = 1/2 →
+// |011⟩).
+func (s *PrefixSampler) Select(phat float64) uint64 {
+	idx := sort.Search(len(s.prefix), func(i int) bool { return s.prefix[i] > phat })
+	if idx >= len(s.prefix) {
+		idx = len(s.prefix) - 1
+	}
+	return uint64(idx)
+}
+
+// LinearSampler is the no-precomputation baseline: each sample walks the
+// probability array until the cumulative sum exceeds p̂, taking 2^{n-1}
+// steps on average (paper Section III). Unlike binary search it streams,
+// which is why the paper notes it also works on out-of-memory vectors.
+type LinearSampler struct {
+	probs  []float64
+	total  float64
+	qubits int
+}
+
+// NewLinearSampler wraps a probability array without precomputation.
+func NewLinearSampler(probs []float64) (*LinearSampler, error) {
+	q, err := qubitsForLen(len(probs))
+	if err != nil {
+		return nil, err
+	}
+	total, err := validateDistribution(probs)
+	if err != nil {
+		return nil, err
+	}
+	return &LinearSampler{probs: probs, total: total, qubits: q}, nil
+}
+
+// Qubits returns the sampled bitstring width.
+func (s *LinearSampler) Qubits() int { return s.qubits }
+
+// Sample draws one index by linear traversal.
+func (s *LinearSampler) Sample(r *rng.RNG) uint64 {
+	phat := r.Float64() * s.total
+	var run float64
+	for i, p := range s.probs {
+		run += p
+		if run > phat {
+			return uint64(i)
+		}
+	}
+	// Rounding pushed the total below p̂; return the last non-zero entry.
+	for i := len(s.probs) - 1; i >= 0; i-- {
+		if s.probs[i] > 0 {
+			return uint64(i)
+		}
+	}
+	return 0
+}
+
+// AliasSampler implements Walker's alias method: O(2^n) precomputation and
+// O(1) per sample. The paper does not evaluate it; it is included as an
+// ablation point for the vector-based family.
+type AliasSampler struct {
+	prob   []float64
+	alias  []int
+	qubits int
+}
+
+// NewAliasSampler builds the alias tables for the distribution.
+func NewAliasSampler(probs []float64) (*AliasSampler, error) {
+	q, err := qubitsForLen(len(probs))
+	if err != nil {
+		return nil, err
+	}
+	total, err := validateDistribution(probs)
+	if err != nil {
+		return nil, err
+	}
+	n := len(probs)
+	scaled := make([]float64, n)
+	for i, p := range probs {
+		scaled[i] = p / total * float64(n)
+	}
+	prob := make([]float64, n)
+	alias := make([]int, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, p := range scaled {
+		if p < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		prob[s] = scaled[s]
+		alias[s] = l
+		scaled[l] = scaled[l] - (1 - scaled[s])
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		prob[i] = 1
+		alias[i] = i
+	}
+	for _, i := range small {
+		prob[i] = 1
+		alias[i] = i
+	}
+	return &AliasSampler{prob: prob, alias: alias, qubits: q}, nil
+}
+
+// Qubits returns the sampled bitstring width.
+func (s *AliasSampler) Qubits() int { return s.qubits }
+
+// Sample draws one index in constant time.
+func (s *AliasSampler) Sample(r *rng.RNG) uint64 {
+	i := r.IntN(len(s.prob))
+	if r.Float64() < s.prob[i] {
+		return uint64(i)
+	}
+	return uint64(s.alias[i])
+}

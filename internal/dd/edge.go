@@ -1,0 +1,84 @@
+package dd
+
+import "weaksim/internal/cnum"
+
+// VNode is a vector decision-diagram node. It splits a sub-vector on qubit
+// V: E[0] covers the half where qubit V is |0⟩, E[1] the half where it is
+// |1⟩. Nodes are hash-consed by the owning Manager; compare them by pointer.
+type VNode struct {
+	// V is the qubit (level) this node decides on.
+	V int
+	// E holds the 0-successor and 1-successor edges.
+	E [2]VEdge
+
+	gen uint32 // GC mark, managed by Manager.GC
+}
+
+// VEdge is a weighted edge to a vector node. The zero value is the zero
+// edge, which represents an all-zero sub-vector. An edge with a nil target
+// and non-zero weight is a terminal edge carrying a scalar amplitude factor.
+type VEdge struct {
+	W cnum.Complex
+	N *VNode
+}
+
+// IsZero reports whether e is the zero edge (all-zero sub-vector).
+func (e VEdge) IsZero() bool { return e.W.IsZero() }
+
+// IsTerminal reports whether e points to the terminal, i.e. below level 0.
+func (e VEdge) IsTerminal() bool { return e.N == nil }
+
+// MNode is a matrix decision-diagram node. It splits a sub-matrix into four
+// quadrants on qubit V: E[2*r+c] covers the quadrant with row bit r and
+// column bit c of qubit V.
+type MNode struct {
+	V int
+	E [4]MEdge
+
+	gen uint32
+	// ident marks nodes whose sub-matrix is exactly the identity; the
+	// multiply routines shortcut them. Computed once at node creation.
+	ident bool
+}
+
+// IsIdentity reports whether the node's sub-matrix is exactly the identity.
+func (n *MNode) IsIdentity() bool { return n.ident }
+
+// MEdge is a weighted edge to a matrix node. The zero value represents an
+// all-zero sub-matrix; a nil target with non-zero weight is a terminal
+// scalar.
+type MEdge struct {
+	W cnum.Complex
+	N *MNode
+}
+
+// IsZero reports whether e is the zero edge (all-zero sub-matrix).
+func (e MEdge) IsZero() bool { return e.W.IsZero() }
+
+// IsTerminal reports whether e points to the terminal.
+func (e MEdge) IsTerminal() bool { return e.N == nil }
+
+// vKey identifies a vector node in the unique table. Weights are interned
+// before key construction, so float equality is exact.
+type vKey struct {
+	v      int
+	w0, w1 cnum.Complex
+	n0, n1 *VNode
+}
+
+// mKey identifies a matrix node in the unique table.
+type mKey struct {
+	v int
+	w [4]cnum.Complex
+	n [4]*MNode
+}
+
+type mulKey struct {
+	m *MNode
+	v *VNode
+}
+
+type addKey struct {
+	a, b  *VNode
+	ratio cnum.Complex
+}

@@ -1,0 +1,63 @@
+package dd
+
+// ShouldGC reports whether the unique tables have grown past the configured
+// threshold. Simulation drivers call this between gate applications and run
+// GC with their live roots when it returns true.
+func (m *Manager) ShouldGC() bool {
+	return len(m.vUnique)+len(m.mUnique) > m.gcThreshold
+}
+
+// GC removes all nodes not reachable from the given roots from the unique
+// tables and flushes the compute caches. Surviving node pointers remain
+// valid; only dead hash-cons entries are dropped, so subsequent MakeVNode
+// calls for live structures still deduplicate correctly.
+//
+// Callers must pass every DD they intend to keep using. Edges not listed
+// remain structurally intact (Go's GC owns the memory) but lose their
+// sharing guarantees.
+func (m *Manager) GC(keepV []VEdge, keepM []MEdge) (removedV, removedM int) {
+	m.gen++
+	m.gcRuns++
+	for _, e := range keepV {
+		m.markV(e.N)
+	}
+	for _, e := range keepM {
+		m.markM(e.N)
+	}
+	for k, n := range m.vUnique {
+		if n.gen != m.gen {
+			delete(m.vUnique, k)
+			removedV++
+		}
+	}
+	for k, n := range m.mUnique {
+		if n.gen != m.gen {
+			delete(m.mUnique, k)
+			removedM++
+		}
+	}
+	// Caches may reference removed nodes; drop them wholesale.
+	m.mulCache = make(map[mulKey]VEdge, 1024)
+	m.addCache = make(map[addKey]VEdge, 1024)
+	m.mops = nil
+	return removedV, removedM
+}
+
+func (m *Manager) markV(n *VNode) {
+	if n == nil || n.gen == m.gen {
+		return
+	}
+	n.gen = m.gen
+	m.markV(n.E[0].N)
+	m.markV(n.E[1].N)
+}
+
+func (m *Manager) markM(n *MNode) {
+	if n == nil || n.gen == m.gen {
+		return
+	}
+	n.gen = m.gen
+	for i := 0; i < 4; i++ {
+		m.markM(n.E[i].N)
+	}
+}

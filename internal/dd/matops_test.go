@@ -1,0 +1,193 @@
+package dd
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"weaksim/internal/cnum"
+)
+
+func denseMatMul(a, b [][]cnum.Complex) [][]cnum.Complex {
+	n := len(a)
+	out := make([][]cnum.Complex, n)
+	for i := range out {
+		out[i] = make([]cnum.Complex, n)
+		for j := 0; j < n; j++ {
+			var sum cnum.Complex
+			for k := 0; k < n; k++ {
+				sum = sum.Add(a[i][k].Mul(b[k][j]))
+			}
+			out[i][j] = sum
+		}
+	}
+	return out
+}
+
+func randomDense(r *rand.Rand, n int) [][]cnum.Complex {
+	size := 1 << uint(n)
+	mat := make([][]cnum.Complex, size)
+	for i := range mat {
+		mat[i] = make([]cnum.Complex, size)
+		for j := range mat[i] {
+			mat[i][j] = cnum.New(r.NormFloat64(), r.NormFloat64())
+		}
+	}
+	return mat
+}
+
+func TestMulMMMatchesDense(t *testing.T) {
+	r := rand.New(rand.NewPCG(61, 62))
+	m := New(3)
+	da := randomDense(r, 3)
+	db := randomDense(r, 3)
+	ea, err := m.FromMatrix(da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := m.FromMatrix(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ToMatrix(m.MulMM(ea, eb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := denseMatMul(da, db)
+	// Entries are O(sqrt(8)·N(0,1) sums); give the grid some slack.
+	if !matApproxEq(got, want, 1e-7) {
+		t.Error("MulMM mismatch against dense product")
+	}
+}
+
+func TestMulMMComposesGates(t *testing.T) {
+	// (CX · H⊗I) |00⟩ must give the Bell state, composing the operators
+	// first.
+	m := New(2)
+	h := m.GateDD(GateMatrix(hMatrix), 0)
+	cx := m.GateDD(GateMatrix(xMatrix), 1, Pos(0))
+	bellOp := m.MulMM(cx, h)
+	st := m.Mul(bellOp, m.ZeroState())
+	if a := m.Amplitude(st, 0); !approx(a.Abs(), cnum.SqrtHalf.Re, 1e-9) {
+		t.Errorf("amp(00) = %v", a)
+	}
+	if a := m.Amplitude(st, 3); !approx(a.Abs(), cnum.SqrtHalf.Re, 1e-9) {
+		t.Errorf("amp(11) = %v", a)
+	}
+	if a := m.Amplitude(st, 1); !a.ApproxZero(1e-9) {
+		t.Errorf("amp(01) = %v", a)
+	}
+}
+
+func TestAddMMMatchesDense(t *testing.T) {
+	r := rand.New(rand.NewPCG(63, 64))
+	m := New(2)
+	da := randomDense(r, 2)
+	db := randomDense(r, 2)
+	ea, _ := m.FromMatrix(da)
+	eb, _ := m.FromMatrix(db)
+	got, err := m.ToMatrix(m.AddMM(ea, eb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range da {
+		for j := range da[i] {
+			want := da[i][j].Add(db[i][j])
+			if !got[i][j].ApproxEq(want, 1e-8) {
+				t.Fatalf("AddMM[%d][%d] = %v, want %v", i, j, got[i][j], want)
+			}
+		}
+	}
+}
+
+func TestAddMMCancellation(t *testing.T) {
+	m := New(2)
+	h := m.GateDD(GateMatrix(hMatrix), 1)
+	neg := MEdge{W: h.W.Neg(), N: h.N}
+	if sum := m.AddMM(h, neg); !sum.IsZero() {
+		t.Errorf("A + (-A) = %v, want zero", sum)
+	}
+}
+
+func TestAdjointInvertsUnitary(t *testing.T) {
+	// U†·U must be the identity for a composite unitary.
+	m := New(3)
+	u := m.GateDD(GateMatrix(hMatrix), 2)
+	u = m.MulMM(m.GateDD(GateMatrix(xMatrix), 0, Pos(2)), u)
+	u = m.MulMM(m.GateDD(GateMatrix([2][2]cnum.Complex{
+		{cnum.One, cnum.Zero}, {cnum.Zero, cnum.FromPolar(1, 0.7)},
+	}), 1), u)
+	id := m.MulMM(m.Adjoint(u), u)
+	got, err := m.ToMatrix(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matApproxEq(got, denseIdentity(8), 1e-8) {
+		t.Error("U†U is not the identity")
+	}
+}
+
+func TestAdjointMatchesDense(t *testing.T) {
+	r := rand.New(rand.NewPCG(65, 66))
+	m := New(2)
+	da := randomDense(r, 2)
+	ea, _ := m.FromMatrix(da)
+	got, err := m.ToMatrix(m.Adjoint(ea))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range da {
+		for j := range da[i] {
+			want := da[j][i].Conj()
+			if !got[i][j].ApproxEq(want, 1e-8) {
+				t.Fatalf("Adjoint[%d][%d] = %v, want %v", i, j, got[i][j], want)
+			}
+		}
+	}
+}
+
+func TestComposedGroverIterationMatchesStepwise(t *testing.T) {
+	// Compose an oracle and diffusion into one operator via MulMM and
+	// compare a few applications against step-by-step Mul.
+	m := New(5)
+	// Oracle: flip phase of |10110⟩ via multi-controlled Z.
+	marked := []Control{Pos(1), Pos(2), Neg(0), Neg(3)}
+	oracle := m.GateDD(GateMatrix([2][2]cnum.Complex{
+		{cnum.One, cnum.Zero}, {cnum.Zero, cnum.MinusOne},
+	}), 4, marked...)
+	// Diffusion pieces on all 5 qubits.
+	diff := m.IdentityDD()
+	for q := 0; q < 5; q++ {
+		diff = m.MulMM(m.GateDD(GateMatrix(hMatrix), q), diff)
+	}
+	for q := 0; q < 5; q++ {
+		diff = m.MulMM(m.GateDD(GateMatrix(xMatrix), q), diff)
+	}
+	diff = m.MulMM(m.GateDD(GateMatrix([2][2]cnum.Complex{
+		{cnum.One, cnum.Zero}, {cnum.Zero, cnum.MinusOne},
+	}), 4, Pos(0), Pos(1), Pos(2), Pos(3)), diff)
+	for q := 0; q < 5; q++ {
+		diff = m.MulMM(m.GateDD(GateMatrix(xMatrix), q), diff)
+	}
+	for q := 0; q < 5; q++ {
+		diff = m.MulMM(m.GateDD(GateMatrix(hMatrix), q), diff)
+	}
+	iter := m.MulMM(diff, oracle)
+
+	// Uniform start.
+	stA := m.ZeroState()
+	for q := 0; q < 5; q++ {
+		stA = m.Mul(m.GateDD(GateMatrix(hMatrix), q), stA)
+	}
+	stB := stA
+	for k := 0; k < 4; k++ {
+		stA = m.Mul(iter, stA)   // fused
+		stB = m.Mul(oracle, stB) // stepwise
+		stB = m.Mul(diff, stB)
+	}
+	for i := uint64(0); i < 32; i++ {
+		a, b := m.Amplitude(stA, i), m.Amplitude(stB, i)
+		if !a.ApproxEq(b, 1e-7) {
+			t.Fatalf("fused vs stepwise amplitude %d: %v vs %v", i, a, b)
+		}
+	}
+}

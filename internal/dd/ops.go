@@ -1,0 +1,103 @@
+package dd
+
+// Mul applies the operator op to the state st (matrix-vector product) and
+// returns the resulting state DD. Both edges must be full-height DDs of
+// this Manager.
+//
+// Results are memoized on the (operator node, state node) pair with top
+// weights factored out, following the compute-cache design of DD-based
+// strong simulators.
+func (m *Manager) Mul(op MEdge, st VEdge) VEdge {
+	return m.mulRec(op, st, m.nqubits-1)
+}
+
+func (m *Manager) mulRec(op MEdge, st VEdge, v int) VEdge {
+	if op.IsZero() || st.IsZero() {
+		return VEdge{}
+	}
+	w := op.W.Mul(st.W)
+	if v < 0 {
+		return VEdge{W: m.ctab.Lookup(w)}
+	}
+	if op.N.ident {
+		// Identity sub-operator: the sub-state passes through unchanged.
+		return VEdge{W: m.ctab.Lookup(w), N: st.N}
+	}
+	key := mulKey{m: op.N, v: st.N}
+	if r, ok := m.mulCache[key]; ok {
+		m.mulHits++
+		if r.IsZero() {
+			return VEdge{}
+		}
+		return VEdge{W: m.ctab.Lookup(r.W.Mul(w)), N: r.N}
+	}
+	m.mulMisses++
+
+	var rows [2]VEdge
+	for i := 0; i < 2; i++ {
+		p0 := m.mulRec(op.N.E[2*i+0], st.N.E[0], v-1)
+		p1 := m.mulRec(op.N.E[2*i+1], st.N.E[1], v-1)
+		rows[i] = m.addRec(p0, p1, v-1)
+	}
+	r := m.makeVNode(v, rows[0], rows[1])
+
+	if len(m.mulCache) >= m.cacheSize {
+		m.mulCache = make(map[mulKey]VEdge, 1024)
+	}
+	m.mulCache[key] = r
+	if r.IsZero() {
+		return VEdge{}
+	}
+	return VEdge{W: m.ctab.Lookup(r.W.Mul(w)), N: r.N}
+}
+
+// Add returns the element-wise sum of the two state DDs. Both edges must be
+// full-height DDs of this Manager.
+func (m *Manager) Add(a, b VEdge) VEdge {
+	return m.addRec(a, b, m.nqubits-1)
+}
+
+func (m *Manager) addRec(a, b VEdge, v int) VEdge {
+	if a.IsZero() {
+		return b
+	}
+	if b.IsZero() {
+		return a
+	}
+	if v < 0 {
+		sum := m.ctab.Lookup(a.W.Add(b.W))
+		if sum.IsZero() {
+			return VEdge{}
+		}
+		return VEdge{W: sum}
+	}
+	// Factor the first weight out so the cache key depends only on the
+	// weight ratio: a + b == a.W * (A + (b.W/a.W) * B) for the unit-weight
+	// sub-vectors A and B.
+	ratio := m.ctab.Lookup(b.W.Div(a.W))
+	key := addKey{a: a.N, b: b.N, ratio: ratio}
+	if r, ok := m.addCache[key]; ok {
+		m.addHits++
+		if r.IsZero() {
+			return VEdge{}
+		}
+		return VEdge{W: m.ctab.Lookup(r.W.Mul(a.W)), N: r.N}
+	}
+	m.addMisses++
+
+	var sums [2]VEdge
+	for i := 0; i < 2; i++ {
+		be := b.N.E[i]
+		sums[i] = m.addRec(a.N.E[i], VEdge{W: ratio.Mul(be.W), N: be.N}, v-1)
+	}
+	r := m.makeVNode(v, sums[0], sums[1])
+
+	if len(m.addCache) >= m.cacheSize {
+		m.addCache = make(map[addKey]VEdge, 1024)
+	}
+	m.addCache[key] = r
+	if r.IsZero() {
+		return VEdge{}
+	}
+	return VEdge{W: m.ctab.Lookup(r.W.Mul(a.W)), N: r.N}
+}

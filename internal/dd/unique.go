@@ -1,0 +1,141 @@
+package dd
+
+import (
+	"math"
+
+	"weaksim/internal/cnum"
+)
+
+// MakeVNode creates (or finds) the vector node at level v with successors
+// e0 and e1, applies the Manager's normalization scheme, and returns the
+// normalized edge pointing at it. The weight of the returned edge carries
+// the factor pulled out of the successors; callers must multiply it into
+// whatever incoming weight they hold.
+//
+// Both successors must either be zero edges or sit at level v-1 (terminal
+// edges for v == 0).
+func (m *Manager) MakeVNode(v int, e0, e1 VEdge) VEdge {
+	if v < 0 || v >= m.nqubits {
+		panic("dd: MakeVNode level out of range")
+	}
+	return m.makeVNode(v, e0, e1)
+}
+
+func (m *Manager) makeVNode(v int, e0, e1 VEdge) VEdge {
+	// Canonicalize zero successors to the zero edge.
+	if e0.W.IsZero() {
+		e0 = VEdge{}
+	}
+	if e1.W.IsZero() {
+		e1 = VEdge{}
+	}
+	if e0.IsZero() && e1.IsZero() {
+		return VEdge{}
+	}
+
+	f := m.normFactor(e0.W, e1.W)
+	e0.W = m.ctab.Lookup(e0.W.Div(f))
+	e1.W = m.ctab.Lookup(e1.W.Div(f))
+	// Interning may flush a tiny weight to exactly zero; keep the zero-edge
+	// invariant (zero weight implies nil target).
+	if e0.W.IsZero() {
+		e0 = VEdge{}
+	}
+	if e1.W.IsZero() {
+		e1 = VEdge{}
+	}
+
+	key := vKey{v: v, w0: e0.W, w1: e1.W, n0: e0.N, n1: e1.N}
+	n, ok := m.vUnique[key]
+	if ok {
+		m.vHits++
+	} else {
+		m.vMisses++
+		n = &VNode{V: v, E: [2]VEdge{e0, e1}}
+		m.vUnique[key] = n
+	}
+	return VEdge{W: m.ctab.Lookup(f), N: n}
+}
+
+// normFactor returns the common factor to divide out of the weight pair
+// (w0, w1), at least one of which is non-zero.
+func (m *Manager) normFactor(w0, w1 cnum.Complex) cnum.Complex {
+	switch m.norm {
+	case NormLeft:
+		if !w0.IsZero() {
+			return w0
+		}
+		return w1
+	case NormL2:
+		return cnum.New(math.Sqrt(w0.Abs2()+w1.Abs2()), 0)
+	case NormL2Phase:
+		mag := math.Sqrt(w0.Abs2() + w1.Abs2())
+		lead := w0
+		if lead.IsZero() {
+			lead = w1
+		}
+		return cnum.FromPolar(mag, lead.Phase())
+	default:
+		panic("dd: unknown normalization scheme")
+	}
+}
+
+// MakeMNode creates (or finds) the matrix node at level v with the four
+// quadrant successors e (indexed by 2*rowBit+colBit) and returns the
+// normalized edge pointing at it.
+//
+// Matrix nodes are always normalized by the entry of largest magnitude
+// (ties broken by lowest index); the vector normalization scheme does not
+// apply to operators.
+func (m *Manager) MakeMNode(v int, e [4]MEdge) MEdge {
+	if v < 0 || v >= m.nqubits {
+		panic("dd: MakeMNode level out of range")
+	}
+	return m.makeMNode(v, e)
+}
+
+func (m *Manager) makeMNode(v int, e [4]MEdge) MEdge {
+	allZero := true
+	for i := range e {
+		if e[i].W.IsZero() {
+			e[i] = MEdge{}
+		} else {
+			allZero = false
+		}
+	}
+	if allZero {
+		return MEdge{}
+	}
+
+	// Normalize by the largest-magnitude weight for numerical stability.
+	best, bestMag := 0, -1.0
+	for i := range e {
+		if mag := e[i].W.Abs2(); mag > bestMag {
+			best, bestMag = i, mag
+		}
+	}
+	f := e[best].W
+	var key mKey
+	key.v = v
+	for i := range e {
+		e[i].W = m.ctab.Lookup(e[i].W.Div(f))
+		if e[i].W.IsZero() {
+			e[i] = MEdge{}
+		}
+		key.w[i] = e[i].W
+		key.n[i] = e[i].N
+	}
+
+	n, ok := m.mUnique[key]
+	if ok {
+		m.mHits++
+	} else {
+		m.mMisses++
+		n = &MNode{V: v, E: e}
+		n.ident = e[1].IsZero() && e[2].IsZero() &&
+			e[0].W == cnum.One && e[3].W == cnum.One &&
+			e[0].N == e[3].N && (e[0].N == nil || e[0].N.ident)
+		m.mUnique[key] = n
+	}
+	return MEdge{W: m.ctab.Lookup(f), N: n}
+}

@@ -1,0 +1,188 @@
+package gate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"weaksim/internal/cnum"
+)
+
+// mul2 multiplies two 2x2 complex matrices.
+func mul2(a, b [2][2]cnum.Complex) [2][2]cnum.Complex {
+	var r [2][2]cnum.Complex
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			r[i][j] = a[i][0].Mul(b[0][j]).Add(a[i][1].Mul(b[1][j]))
+		}
+	}
+	return r
+}
+
+func adjoint(a [2][2]cnum.Complex) [2][2]cnum.Complex {
+	return [2][2]cnum.Complex{
+		{a[0][0].Conj(), a[1][0].Conj()},
+		{a[0][1].Conj(), a[1][1].Conj()},
+	}
+}
+
+func isIdentity(a [2][2]cnum.Complex, tol float64) bool {
+	return a[0][0].ApproxEq(cnum.One, tol) && a[1][1].ApproxEq(cnum.One, tol) &&
+		a[0][1].ApproxZero(tol) && a[1][0].ApproxZero(tol)
+}
+
+func allGates() []Gate {
+	return []Gate{
+		IDGate, XGate, YGate, ZGate, HGate, SGate, SdgGate, TGate, TdgGate,
+		SXGate, SYGate,
+		RXGate(0.7), RYGate(-1.3), RZGate(2.1), PhaseGate(0.9),
+		UGate(0.4, 1.1, -0.6),
+	}
+}
+
+func TestAllGatesAreUnitary(t *testing.T) {
+	for _, g := range allGates() {
+		m := g.Matrix()
+		if !isIdentity(mul2(adjoint(m), m), 1e-12) {
+			t.Errorf("%s is not unitary: U†U = %v", g, mul2(adjoint(m), m))
+		}
+	}
+}
+
+func TestSquareRootGates(t *testing.T) {
+	sx := SXGate.Matrix()
+	if got := mul2(sx, sx); !got[0][1].ApproxEq(cnum.One, 1e-12) || !got[1][0].ApproxEq(cnum.One, 1e-12) {
+		t.Errorf("SX² = %v, want X", got)
+	}
+	sy := SYGate.Matrix()
+	y := YGate.Matrix()
+	got := mul2(sy, sy)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if !got[i][j].ApproxEq(y[i][j], 1e-12) {
+				t.Errorf("SY²[%d][%d] = %v, want %v", i, j, got[i][j], y[i][j])
+			}
+		}
+	}
+}
+
+func TestKnownMatrixEntries(t *testing.T) {
+	h := HGate.Matrix()
+	if !h[0][0].ApproxEq(cnum.SqrtHalf, 1e-15) || !h[1][1].ApproxEq(cnum.SqrtHalf.Neg(), 1e-15) {
+		t.Errorf("H = %v", h)
+	}
+	tg := TGate.Matrix()
+	want := cnum.New(math.Sqrt2/2, math.Sqrt2/2)
+	if !tg[1][1].ApproxEq(want, 1e-15) {
+		t.Errorf("T[1][1] = %v, want %v", tg[1][1], want)
+	}
+	rz := RZGate(math.Pi).Matrix()
+	if !rz[0][0].ApproxEq(cnum.New(0, -1), 1e-12) {
+		t.Errorf("RZ(π)[0][0] = %v, want -i", rz[0][0])
+	}
+	p := PhaseGate(math.Pi / 2).Matrix()
+	if !p[1][1].ApproxEq(cnum.I, 1e-12) {
+		t.Errorf("P(π/2)[1][1] = %v, want i", p[1][1])
+	}
+}
+
+func TestInverses(t *testing.T) {
+	for _, g := range []Gate{
+		XGate, YGate, ZGate, HGate, SGate, SdgGate, TGate, TdgGate,
+		RXGate(0.8), RYGate(0.8), RZGate(0.8), PhaseGate(0.8), UGate(0.3, 0.5, 0.7),
+	} {
+		inv := g.Inverse()
+		if !isIdentity(mul2(inv.Matrix(), g.Matrix()), 1e-12) {
+			t.Errorf("%s · %s ≠ I", inv, g)
+		}
+	}
+}
+
+func TestInversePanicsForSX(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for SX.Inverse")
+		}
+	}()
+	SXGate.Inverse()
+}
+
+func TestRotationComposition(t *testing.T) {
+	// RX(a)·RX(b) == RX(a+b) — a property of any rotation family.
+	f := func(a, b float64) bool {
+		a, b = math.Mod(a, 10), math.Mod(b, 10)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		got := mul2(RXGate(a).Matrix(), RXGate(b).Matrix())
+		want := RXGate(a + b).Matrix()
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				if !got[i][j].ApproxEq(want[i][j], 1e-9) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUGateGeneralizes(t *testing.T) {
+	// U(θ, -π/2, π/2) == RX(θ), U(θ, 0, 0) == RY(θ).
+	for _, theta := range []float64{0.3, 1.2, -0.8} {
+		u := UGate(theta, -math.Pi/2, math.Pi/2).Matrix()
+		rx := RXGate(theta).Matrix()
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				if !u[i][j].ApproxEq(rx[i][j], 1e-12) {
+					t.Errorf("U(θ,-π/2,π/2)[%d][%d] = %v, want RX %v", i, j, u[i][j], rx[i][j])
+				}
+			}
+		}
+		u = UGate(theta, 0, 0).Matrix()
+		ry := RYGate(theta).Matrix()
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				if !u[i][j].ApproxEq(ry[i][j], 1e-12) {
+					t.Errorf("U(θ,0,0)[%d][%d] = %v, want RY %v", i, j, u[i][j], ry[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestNamesAndStrings(t *testing.T) {
+	if XGate.Name() != "x" || HGate.String() != "h" {
+		t.Error("fixed gate naming broken")
+	}
+	if got := RXGate(0.5).String(); got != "rx(0.5)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := UGate(1, 2, 3).String(); got != "u(1,2,3)" {
+		t.Errorf("String = %q", got)
+	}
+	if RXGate(1).NumParams() != 1 || UGate(1, 2, 3).NumParams() != 3 || XGate.NumParams() != 0 {
+		t.Error("NumParams broken")
+	}
+}
+
+func TestNewPanicsOnWrongParamCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(RX) // missing parameter
+}
+
+func TestControls(t *testing.T) {
+	if c := Pos(3); c.Qubit != 3 || c.Negative {
+		t.Errorf("Pos(3) = %+v", c)
+	}
+	if c := Neg(5); c.Qubit != 5 || !c.Negative {
+		t.Errorf("Neg(5) = %+v", c)
+	}
+}

@@ -1,0 +1,327 @@
+// Package sim drives strong simulation: it advances a circuit to its final
+// quantum state on one of two backends, the decision-diagram engine
+// (internal/dd) or the dense state-vector engine (internal/statevec).
+// Strong simulation is the precomputation stage of the paper's weak
+// simulation flow (Fig. 2): the sampling algorithms in internal/core
+// operate on the states produced here.
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"weaksim/internal/circuit"
+	"weaksim/internal/dd"
+	"weaksim/internal/gate"
+	"weaksim/internal/statevec"
+)
+
+// DDSimulator advances a circuit on the decision-diagram backend.
+type DDSimulator struct {
+	mgr        *dd.Manager
+	circ       *circuit.Circuit
+	state      dd.VEdge
+	pos        int
+	opCache    map[string]dd.MEdge
+	roots      []dd.MEdge
+	applied    int
+	gcSweeps   int
+	fusion     int
+	trace      TraceFunc
+	traceEvery int
+}
+
+// DDOption configures a DDSimulator.
+type DDOption func(*ddConfig)
+
+type ddConfig struct {
+	mgrOpts    []dd.Option
+	fusion     int
+	trace      TraceFunc
+	traceEvery int
+}
+
+// WithManagerOptions forwards options to the underlying dd.Manager (e.g.
+// normalization scheme, tolerance, cache sizes).
+func WithManagerOptions(opts ...dd.Option) DDOption {
+	return func(c *ddConfig) { c.mgrOpts = append(c.mgrOpts, opts...) }
+}
+
+// FuseAtBarriers selects barrier-delimited fusion: each segment between
+// Barrier ops is composed into one operator. Generators that emit periodic
+// circuits (Grover) place barriers on the period boundary, where the
+// composed operator stays structured and compact.
+const FuseAtBarriers = -1
+
+// WithFusion composes consecutive operations into single operator DDs
+// (matrix-matrix products) before applying them to the state — the
+// matrix-matrix vs matrix-vector trade-off studied in the paper's
+// reference [18]. A positive window fuses every `window` consecutive ops;
+// FuseAtBarriers fuses barrier-delimited segments. Composed segments are
+// memoized on the identity of their operations, so periodic circuits
+// (Grover's identical iterations) pay for each distinct segment once and
+// afterwards apply one cached operator per period. Fusion is opt-in, and
+// segment boundaries matter: composing across a natural period boundary
+// (or fusing scrambling circuits like supremacy at all) can grow the
+// operator DD far beyond the sum of its factors.
+func WithFusion(window int) DDOption {
+	return func(c *ddConfig) { c.fusion = window }
+}
+
+// NewDD prepares a DD simulation of the circuit starting from |0...0⟩.
+func NewDD(c *circuit.Circuit, opts ...DDOption) (*DDSimulator, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	var cfg ddConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	mgr := dd.New(c.NQubits, cfg.mgrOpts...)
+	return &DDSimulator{
+		mgr:        mgr,
+		circ:       c,
+		state:      mgr.ZeroState(),
+		opCache:    make(map[string]dd.MEdge),
+		fusion:     cfg.fusion,
+		trace:      cfg.trace,
+		traceEvery: cfg.traceEvery,
+	}, nil
+}
+
+// Manager returns the decision-diagram manager owning the state.
+func (s *DDSimulator) Manager() *dd.Manager { return s.mgr }
+
+// State returns the current state DD.
+func (s *DDSimulator) State() dd.VEdge { return s.state }
+
+// AppliedOps returns the number of operations applied so far.
+func (s *DDSimulator) AppliedOps() int { return s.applied }
+
+// GCSweeps returns how many garbage collections ran during simulation.
+func (s *DDSimulator) GCSweeps() int { return s.gcSweeps }
+
+// Run applies all remaining operations and returns the final state DD.
+func (s *DDSimulator) Run() (dd.VEdge, error) {
+	if s.fusion > 1 || s.fusion == FuseAtBarriers {
+		return s.runFused()
+	}
+	for s.pos < len(s.circ.Ops) {
+		if err := s.Step(); err != nil {
+			return dd.VEdge{}, err
+		}
+	}
+	return s.state, nil
+}
+
+// runFused applies the circuit window by window, composing each window of
+// operations into one operator DD and memoizing composed windows by the
+// identity of their operations.
+func (s *DDSimulator) runFused() (dd.VEdge, error) {
+	for s.pos < len(s.circ.Ops) {
+		var end int
+		if s.fusion == FuseAtBarriers {
+			end = s.pos
+			for end < len(s.circ.Ops) && s.circ.Ops[end].Kind != circuit.BarrierOp {
+				end++
+			}
+			if end < len(s.circ.Ops) {
+				end++ // include the barrier itself (a no-op) in the window
+			}
+		} else {
+			end = s.pos + s.fusion
+			if end > len(s.circ.Ops) {
+				end = len(s.circ.Ops)
+			}
+		}
+		window := s.circ.Ops[s.pos:end]
+		var key strings.Builder
+		for _, op := range window {
+			if op.Kind == circuit.BarrierOp {
+				continue
+			}
+			key.WriteString(opKey(op))
+			key.WriteByte('|')
+		}
+		composed, ok := s.opCache[key.String()]
+		if !ok {
+			composed = s.mgr.IdentityDD()
+			built := false
+			for _, op := range window {
+				if op.Kind == circuit.BarrierOp {
+					continue
+				}
+				opDD, err := s.operatorDD(op)
+				if err != nil {
+					return dd.VEdge{}, err
+				}
+				if !built {
+					composed = opDD
+					built = true
+				} else {
+					composed = s.mgr.MulMM(opDD, composed)
+				}
+			}
+			s.opCache[key.String()] = composed
+		}
+		s.state = s.mgr.Mul(composed, s.state)
+		for _, op := range window {
+			if op.Kind != circuit.BarrierOp {
+				s.applied++
+			}
+		}
+		s.pos = end
+		if s.mgr.ShouldGC() {
+			s.collect()
+		}
+	}
+	return s.state, nil
+}
+
+// Step applies the next operation. It returns an error when the circuit is
+// exhausted or an operation cannot be translated.
+func (s *DDSimulator) Step() error {
+	if s.pos >= len(s.circ.Ops) {
+		return fmt.Errorf("sim: circuit %q exhausted", s.circ.Name)
+	}
+	op := s.circ.Ops[s.pos]
+	s.pos++
+	if op.Kind == circuit.BarrierOp {
+		return nil
+	}
+	opDD, err := s.operatorDD(op)
+	if err != nil {
+		return err
+	}
+	s.state = s.mgr.Mul(opDD, s.state)
+	s.applied++
+	if s.trace != nil && s.traceEvery > 0 && s.applied%s.traceEvery == 0 {
+		s.trace(s.applied, s.mgr.TableStats())
+	}
+	if s.mgr.ShouldGC() {
+		s.collect()
+	}
+	return nil
+}
+
+// collect runs a mark-and-sweep GC keeping the state and all cached
+// operator DDs alive.
+func (s *DDSimulator) collect() {
+	s.roots = s.roots[:0]
+	for _, e := range s.opCache {
+		s.roots = append(s.roots, e)
+	}
+	s.mgr.GC([]dd.VEdge{s.state}, s.roots)
+	s.gcSweeps++
+}
+
+// operatorDD translates an operation into a matrix DD, memoizing repeated
+// operators (Grover applies the same oracle and diffusion tens of thousands
+// of times).
+func (s *DDSimulator) operatorDD(op circuit.Op) (dd.MEdge, error) {
+	key := opKey(op)
+	if e, ok := s.opCache[key]; ok {
+		return e, nil
+	}
+	var e dd.MEdge
+	switch op.Kind {
+	case circuit.GateOp:
+		e = s.mgr.GateDD(dd.GateMatrix(op.Gate.Matrix()), op.Target, ddControls(op.Controls)...)
+	case circuit.PermutationOp:
+		var err error
+		e, err = s.mgr.PermutationDD(op.Perm, op.PermWidth, ddControls(op.Controls)...)
+		if err != nil {
+			return dd.MEdge{}, err
+		}
+	default:
+		return dd.MEdge{}, fmt.Errorf("sim: cannot translate op kind %d", int(op.Kind))
+	}
+	s.opCache[key] = e
+	return e, nil
+}
+
+func ddControls(cs []gate.Control) []dd.Control {
+	if len(cs) == 0 {
+		return nil
+	}
+	out := make([]dd.Control, len(cs))
+	for i, c := range cs {
+		out[i] = dd.Control{Qubit: c.Qubit, Negative: c.Negative}
+	}
+	return out
+}
+
+// opKey builds a memoization key for an operation. Permutations are keyed
+// by label and controls; generators must give distinct permutations
+// distinct labels (all in this repository do).
+func opKey(op circuit.Op) string {
+	var b strings.Builder
+	switch op.Kind {
+	case circuit.GateOp:
+		fmt.Fprintf(&b, "g:%d:%v:%d", int(op.Gate.Kind), op.Gate.Params, op.Target)
+	case circuit.PermutationOp:
+		fmt.Fprintf(&b, "p:%s:%d", op.Label, op.PermWidth)
+		if op.Label == "" {
+			// Unlabeled permutation: fall back to hashing the full map.
+			fmt.Fprintf(&b, ":%v", op.Perm)
+		}
+	}
+	for _, c := range op.Controls {
+		fmt.Fprintf(&b, ":c%d,%t", c.Qubit, c.Negative)
+	}
+	return b.String()
+}
+
+// VectorSimulator advances a circuit on the dense state-vector backend.
+type VectorSimulator struct {
+	st   *statevec.State
+	circ *circuit.Circuit
+	pos  int
+}
+
+// NewVector prepares a dense simulation of the circuit starting from
+// |0...0⟩. maxQubits bounds the allocation (0 = statevec.DefaultMaxQubits);
+// exceeding it returns statevec.ErrMemoryOut, the paper's "MO" condition.
+func NewVector(c *circuit.Circuit, maxQubits int) (*VectorSimulator, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	st, err := statevec.New(c.NQubits, maxQubits)
+	if err != nil {
+		return nil, err
+	}
+	return &VectorSimulator{st: st, circ: c}, nil
+}
+
+// State returns the dense state.
+func (s *VectorSimulator) State() *statevec.State { return s.st }
+
+// Run applies all remaining operations and returns the final dense state.
+func (s *VectorSimulator) Run() (*statevec.State, error) {
+	for ; s.pos < len(s.circ.Ops); s.pos++ {
+		op := s.circ.Ops[s.pos]
+		switch op.Kind {
+		case circuit.BarrierOp:
+		case circuit.GateOp:
+			s.st.ApplyGate(op.Gate.Matrix(), op.Target, op.Controls...)
+		case circuit.PermutationOp:
+			s.st.ApplyPermutation(op.Perm, op.PermWidth, op.Controls...)
+		default:
+			return nil, fmt.Errorf("sim: cannot apply op kind %d", int(op.Kind))
+		}
+	}
+	return s.st, nil
+}
+
+// TraceFunc receives progress callbacks during Run: the index of the
+// operation just applied and a snapshot of the manager's table statistics.
+type TraceFunc func(opIndex int, stats dd.Stats)
+
+// WithTrace installs a progress callback invoked after every `every`
+// operations. Used by long-running harnesses to report DD growth.
+func WithTrace(every int, fn TraceFunc) DDOption {
+	return func(c *ddConfig) {
+		c.traceEvery = every
+		c.trace = fn
+	}
+}

@@ -1,0 +1,200 @@
+// Package statevec implements the dense state-vector substrate: explicit
+// arrays of 2^n amplitudes with in-place gate application. It is both a
+// reference implementation for testing the decision-diagram engine and the
+// storage backing the paper's vector-based sampling baseline (Section III).
+//
+// The package enforces an explicit memory budget. The paper's Table I marks
+// benchmarks whose state vector exceeds main memory as "MO" (memory out);
+// New returns ErrMemoryOut in exactly those situations so harnesses can
+// report the same way.
+package statevec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"weaksim/internal/cnum"
+	"weaksim/internal/gate"
+)
+
+// ErrMemoryOut reports that the requested state vector exceeds the
+// configured memory budget — the "MO" entries of the paper's Table I.
+var ErrMemoryOut = errors.New("statevec: state vector exceeds memory budget (MO)")
+
+// DefaultMaxQubits is the default budget: 2^26 amplitudes occupy 1 GiB,
+// comfortably inside this machine's memory while still exhibiting the
+// vector-based blow-up the paper reports.
+const DefaultMaxQubits = 26
+
+// State is a dense 2^n-amplitude state vector. Qubit 0 is the least
+// significant index bit.
+type State struct {
+	n    int
+	amps []cnum.Complex
+}
+
+// New allocates the n-qubit all-zeros state |0...0⟩. maxQubits bounds the
+// allocation; pass 0 for DefaultMaxQubits. If n exceeds the bound, New
+// returns ErrMemoryOut without allocating.
+func New(n, maxQubits int) (*State, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("statevec: need at least one qubit")
+	}
+	if maxQubits <= 0 {
+		maxQubits = DefaultMaxQubits
+	}
+	if n > maxQubits {
+		return nil, fmt.Errorf("%w: %d qubits requested, budget %d", ErrMemoryOut, n, maxQubits)
+	}
+	s := &State{n: n, amps: make([]cnum.Complex, 1<<uint(n))}
+	s.amps[0] = cnum.One
+	return s, nil
+}
+
+// FromAmplitudes wraps an existing amplitude slice (not copied). The length
+// must be a power of two.
+func FromAmplitudes(amps []cnum.Complex) (*State, error) {
+	n := 0
+	for l := len(amps); l > 1; l >>= 1 {
+		if l&1 != 0 {
+			return nil, fmt.Errorf("statevec: length %d is not a power of two", len(amps))
+		}
+		n++
+	}
+	if len(amps) == 0 {
+		return nil, fmt.Errorf("statevec: empty amplitude slice")
+	}
+	return &State{n: n, amps: amps}, nil
+}
+
+// Qubits returns the number of qubits.
+func (s *State) Qubits() int { return s.n }
+
+// Len returns the number of amplitudes (2^n).
+func (s *State) Len() int { return len(s.amps) }
+
+// Amplitude returns the amplitude of basis state idx.
+func (s *State) Amplitude(idx uint64) cnum.Complex { return s.amps[idx] }
+
+// Amplitudes returns the backing slice. Callers must not resize it.
+func (s *State) Amplitudes() []cnum.Complex { return s.amps }
+
+// controlMask precomputes the control test: idx satisfies the controls iff
+// idx&mask == want.
+func controlMask(controls []gate.Control) (mask, want uint64) {
+	for _, c := range controls {
+		bit := uint64(1) << uint(c.Qubit)
+		mask |= bit
+		if !c.Negative {
+			want |= bit
+		}
+	}
+	return mask, want
+}
+
+// ApplyGate applies the controlled single-qubit gate u to the target qubit
+// in place. Time O(2^n).
+func (s *State) ApplyGate(u [2][2]cnum.Complex, target int, controls ...gate.Control) {
+	if target < 0 || target >= s.n {
+		panic("statevec: target out of range")
+	}
+	for _, c := range controls {
+		if c.Qubit == target {
+			panic("statevec: control qubit equals target")
+		}
+		if c.Qubit < 0 || c.Qubit >= s.n {
+			panic("statevec: control qubit out of range")
+		}
+	}
+	mask, want := controlMask(controls)
+	tbit := uint64(1) << uint(target)
+	for i := uint64(0); i < uint64(len(s.amps)); i++ {
+		if i&tbit != 0 || i&mask != want {
+			continue
+		}
+		j := i | tbit
+		// The control test above only inspected the target-0 index; both
+		// paired indices agree on all non-target bits, so j passes too.
+		a0, a1 := s.amps[i], s.amps[j]
+		s.amps[i] = u[0][0].Mul(a0).Add(u[0][1].Mul(a1))
+		s.amps[j] = u[1][0].Mul(a0).Add(u[1][1].Mul(a1))
+	}
+}
+
+// ApplyPermutation applies |j⟩ -> |perm[j]⟩ on the lowest width qubits,
+// conditioned on the controls (which must lie at or above width).
+func (s *State) ApplyPermutation(perm []uint64, width int, controls ...gate.Control) {
+	if width < 1 || width > s.n {
+		panic("statevec: permutation width out of range")
+	}
+	if len(perm) != 1<<uint(width) {
+		panic("statevec: permutation size mismatch")
+	}
+	for _, c := range controls {
+		if c.Qubit < width || c.Qubit >= s.n {
+			panic("statevec: permutation control out of range")
+		}
+	}
+	mask, want := controlMask(controls)
+	low := uint64(len(perm) - 1)
+	out := make([]cnum.Complex, len(s.amps))
+	for i := uint64(0); i < uint64(len(s.amps)); i++ {
+		dst := i
+		if i&mask == want {
+			dst = (i &^ low) | perm[i&low]
+		}
+		out[dst] = s.amps[i]
+	}
+	s.amps = out
+}
+
+// Norm2 returns the squared Euclidean norm; a valid state has Norm2 == 1 up
+// to rounding.
+func (s *State) Norm2() float64 {
+	var sum float64
+	for _, a := range s.amps {
+		sum += a.Abs2()
+	}
+	return sum
+}
+
+// Probabilities returns the measurement distribution |α_i|². The result is
+// freshly allocated.
+func (s *State) Probabilities() []float64 {
+	p := make([]float64, len(s.amps))
+	for i, a := range s.amps {
+		p[i] = a.Abs2()
+	}
+	return p
+}
+
+// FidelityWith returns |⟨s|t⟩|² against another state of equal size.
+func (s *State) FidelityWith(t *State) (float64, error) {
+	if s.n != t.n {
+		return 0, fmt.Errorf("statevec: qubit count mismatch %d vs %d", s.n, t.n)
+	}
+	var re, im float64
+	for i := range s.amps {
+		p := s.amps[i].Conj().Mul(t.amps[i])
+		re += p.Re
+		im += p.Im
+	}
+	return re*re + im*im, nil
+}
+
+// MaxDeviationFrom returns the largest component-wise distance to another
+// state — a strict equality metric for backend cross-validation.
+func (s *State) MaxDeviationFrom(t *State) (float64, error) {
+	if s.n != t.n {
+		return 0, fmt.Errorf("statevec: qubit count mismatch %d vs %d", s.n, t.n)
+	}
+	var worst float64
+	for i := range s.amps {
+		d := s.amps[i].Sub(t.amps[i])
+		if m := math.Hypot(d.Re, d.Im); m > worst {
+			worst = m
+		}
+	}
+	return worst, nil
+}

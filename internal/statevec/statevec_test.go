@@ -1,0 +1,178 @@
+package statevec
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"weaksim/internal/cnum"
+	"weaksim/internal/gate"
+)
+
+func TestNewAndBudget(t *testing.T) {
+	s, err := New(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Qubits() != 3 || s.Len() != 8 {
+		t.Errorf("Qubits=%d Len=%d", s.Qubits(), s.Len())
+	}
+	if a := s.Amplitude(0); !a.ApproxEq(cnum.One, 0) {
+		t.Errorf("initial amplitude = %v", a)
+	}
+	if n2 := s.Norm2(); n2 != 1 {
+		t.Errorf("Norm2 = %v", n2)
+	}
+	if _, err := New(30, 26); !errors.Is(err, ErrMemoryOut) {
+		t.Errorf("expected ErrMemoryOut, got %v", err)
+	}
+	if _, err := New(0, 0); err == nil {
+		t.Error("expected error for zero qubits")
+	}
+}
+
+func TestFromAmplitudes(t *testing.T) {
+	if _, err := FromAmplitudes(make([]cnum.Complex, 3)); err == nil {
+		t.Error("expected error for non-power-of-two length")
+	}
+	if _, err := FromAmplitudes(nil); err == nil {
+		t.Error("expected error for empty slice")
+	}
+	s, err := FromAmplitudes(make([]cnum.Complex, 8))
+	if err != nil || s.Qubits() != 3 {
+		t.Errorf("FromAmplitudes: %v, qubits=%d", err, s.Qubits())
+	}
+}
+
+func TestApplyGateHadamard(t *testing.T) {
+	s, _ := New(2, 0)
+	s.ApplyGate(gate.HGate.Matrix(), 0)
+	want := math.Sqrt2 / 2
+	if a := s.Amplitude(0); math.Abs(a.Re-want) > 1e-15 {
+		t.Errorf("amp(00) = %v", a)
+	}
+	if a := s.Amplitude(1); math.Abs(a.Re-want) > 1e-15 {
+		t.Errorf("amp(01) = %v", a)
+	}
+	// H is self-inverse.
+	s.ApplyGate(gate.HGate.Matrix(), 0)
+	if a := s.Amplitude(0); math.Abs(a.Re-1) > 1e-12 {
+		t.Errorf("H·H|0⟩ amp(00) = %v", a)
+	}
+}
+
+func TestApplyControlledGate(t *testing.T) {
+	// CNOT on |10⟩ (control q1 set) flips q0.
+	s, _ := New(2, 0)
+	s.ApplyGate(gate.XGate.Matrix(), 1)
+	s.ApplyGate(gate.XGate.Matrix(), 0, gate.Pos(1))
+	if a := s.Amplitude(3); !a.ApproxEq(cnum.One, 1e-15) {
+		t.Errorf("CNOT|10⟩: amp(11) = %v", a)
+	}
+	// Negative control: fires when the control is |0⟩.
+	s2, _ := New(2, 0)
+	s2.ApplyGate(gate.XGate.Matrix(), 0, gate.Neg(1))
+	if a := s2.Amplitude(1); !a.ApproxEq(cnum.One, 1e-15) {
+		t.Errorf("anti-CNOT|00⟩: amp(01) = %v", a)
+	}
+}
+
+func TestApplyPermutation(t *testing.T) {
+	s, _ := New(3, 0)
+	s.ApplyGate(gate.XGate.Matrix(), 0) // |001⟩
+	// Cyclic increment on the low 2 qubits: 1 → 2.
+	s.ApplyPermutation([]uint64{1, 2, 3, 0}, 2)
+	if a := s.Amplitude(2); !a.ApproxEq(cnum.One, 1e-15) {
+		t.Errorf("after increment: amp(010) = %v", a)
+	}
+	// Controlled on q2 (clear): identity.
+	s.ApplyPermutation([]uint64{1, 2, 3, 0}, 2, gate.Pos(2))
+	if a := s.Amplitude(2); !a.ApproxEq(cnum.One, 1e-15) {
+		t.Errorf("controlled permutation fired with clear control: %v", a)
+	}
+}
+
+func TestApplyPermutationPanics(t *testing.T) {
+	s, _ := New(2, 0)
+	for _, fn := range []func(){
+		func() { s.ApplyPermutation([]uint64{0, 1}, 3) },
+		func() { s.ApplyPermutation([]uint64{0, 1, 2}, 2) },
+		func() { s.ApplyPermutation([]uint64{0, 1}, 1, gate.Pos(0)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestProbabilitiesAndFidelity(t *testing.T) {
+	s, _ := New(1, 0)
+	s.ApplyGate(gate.HGate.Matrix(), 0)
+	p := s.Probabilities()
+	if math.Abs(p[0]-0.5) > 1e-15 || math.Abs(p[1]-0.5) > 1e-15 {
+		t.Errorf("probabilities = %v", p)
+	}
+	o, _ := New(1, 0)
+	f, err := s.FidelityWith(o)
+	if err != nil || math.Abs(f-0.5) > 1e-12 {
+		t.Errorf("fidelity = %v, %v; want 0.5", f, err)
+	}
+	big, _ := New(2, 0)
+	if _, err := s.FidelityWith(big); err == nil {
+		t.Error("expected size-mismatch error")
+	}
+	if _, err := s.MaxDeviationFrom(big); err == nil {
+		t.Error("expected size-mismatch error")
+	}
+}
+
+// Property: any sequence of unitary gates preserves the norm.
+func TestUnitaryNormPreservationProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	f := func(ops []uint8) bool {
+		s, err := New(4, 0)
+		if err != nil {
+			return false
+		}
+		gates := []gate.Gate{gate.HGate, gate.XGate, gate.TGate, gate.SGate,
+			gate.RXGate(0.4), gate.RYGate(1.1)}
+		for _, b := range ops {
+			g := gates[int(b)%len(gates)]
+			target := int(b>>3) % 4
+			if b%2 == 0 {
+				s.ApplyGate(g.Matrix(), target)
+			} else {
+				ctl := (target + 1) % 4
+				s.ApplyGate(g.Matrix(), target, gate.Pos(ctl))
+			}
+		}
+		return math.Abs(s.Norm2()-1) < 1e-9
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyGatePanicsOnBadControls(t *testing.T) {
+	s, _ := New(2, 0)
+	for i, fn := range []func(){
+		func() { s.ApplyGate(gate.XGate.Matrix(), 0, gate.Pos(0)) },
+		func() { s.ApplyGate(gate.XGate.Matrix(), 0, gate.Pos(7)) },
+		func() { s.ApplyGate(gate.XGate.Matrix(), 9) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,270 @@
+// Package stats provides the statistical machinery used to verify that
+// weak-simulation outputs are statistically indistinguishable from the
+// exact Born distribution: chi-square goodness-of-fit testing (with an
+// in-package regularized incomplete gamma function), total variation
+// distance, and Kullback-Leibler divergence.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// TotalVariation returns the total variation distance between two
+// distributions of equal length: ½·Σ|p_i − q_i|.
+func TotalVariation(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(p), len(q))
+	}
+	var d float64
+	for i := range p {
+		d += math.Abs(p[i] - q[i])
+	}
+	return d / 2, nil
+}
+
+// KLDivergence returns the Kullback-Leibler divergence D(p||q) in nats.
+// Entries where p_i == 0 contribute nothing; p_i > 0 with q_i == 0 yields
+// +Inf, as defined.
+func KLDivergence(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(p), len(q))
+	}
+	var d float64
+	for i := range p {
+		if p[i] == 0 {
+			continue
+		}
+		if q[i] == 0 {
+			return math.Inf(1), nil
+		}
+		d += p[i] * math.Log(p[i]/q[i])
+	}
+	return d, nil
+}
+
+// EmpiricalDistribution converts sample counts over 2^n outcomes into an
+// explicit probability vector of the given size.
+func EmpiricalDistribution(counts map[uint64]int, size uint64, shots int) []float64 {
+	p := make([]float64, size)
+	for idx, c := range counts {
+		p[idx] = float64(c) / float64(shots)
+	}
+	return p
+}
+
+// ChiSquareResult holds the outcome of a goodness-of-fit test.
+type ChiSquareResult struct {
+	// Statistic is the chi-square test statistic Σ (obs−exp)²/exp over
+	// the retained bins.
+	Statistic float64
+	// DoF is the degrees of freedom (retained bins − 1).
+	DoF int
+	// PValue is the probability of a statistic at least this large under
+	// the null hypothesis that the samples follow the expected
+	// distribution.
+	PValue float64
+	// Pooled reports how many low-expectation outcomes were pooled into a
+	// single bin to keep the test valid.
+	Pooled int
+}
+
+// MinExpected is the conventional minimum expected count per chi-square
+// bin; outcomes with smaller expectation are pooled.
+const MinExpected = 5.0
+
+// ChiSquareGOF tests observed counts against expected probabilities.
+// Outcomes with expected counts below MinExpected are pooled into one bin.
+// shots must equal the total of counts.
+func ChiSquareGOF(counts map[uint64]int, expected []float64, shots int) (ChiSquareResult, error) {
+	if shots <= 0 {
+		return ChiSquareResult{}, fmt.Errorf("stats: non-positive shot count %d", shots)
+	}
+	var total int
+	for _, c := range counts {
+		total += c
+	}
+	if total != shots {
+		return ChiSquareResult{}, fmt.Errorf("stats: counts sum to %d, want %d", total, shots)
+	}
+	var stat float64
+	var bins int
+	var poolObs, poolExp float64
+	pooled := 0
+	for idx, p := range expected {
+		exp := p * float64(shots)
+		obs := float64(counts[uint64(idx)])
+		if exp < MinExpected {
+			poolObs += obs
+			poolExp += exp
+			pooled++
+			continue
+		}
+		d := obs - exp
+		stat += d * d / exp
+		bins++
+	}
+	if poolExp > 0 {
+		d := poolObs - poolExp
+		stat += d * d / poolExp
+		bins++
+	} else if poolObs > 0 {
+		// Observed samples in zero-probability outcomes: the sampler is
+		// broken, not merely noisy.
+		return ChiSquareResult{Statistic: math.Inf(1), DoF: bins, PValue: 0, Pooled: pooled}, nil
+	}
+	if bins < 2 {
+		// A deterministic distribution cannot disagree once the shot
+		// total matches.
+		return ChiSquareResult{Statistic: 0, DoF: 0, PValue: 1, Pooled: pooled}, nil
+	}
+	dof := bins - 1
+	pval := ChiSquareSurvival(stat, float64(dof))
+	return ChiSquareResult{Statistic: stat, DoF: dof, PValue: pval, Pooled: pooled}, nil
+}
+
+// ChiSquareSurvival returns P(X ≥ x) for a chi-square distribution with k
+// degrees of freedom: the regularized upper incomplete gamma Q(k/2, x/2).
+func ChiSquareSurvival(x, k float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return upperRegGamma(k/2, x/2)
+}
+
+// upperRegGamma computes the regularized upper incomplete gamma function
+// Q(a, x) = Γ(a, x)/Γ(a) using the series expansion for x < a+1 and the
+// continued fraction otherwise (Numerical Recipes style, stdlib only).
+func upperRegGamma(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 1
+	case x < a+1:
+		return 1 - lowerSeries(a, x)
+	default:
+		return upperContinuedFraction(a, x)
+	}
+}
+
+const (
+	gammaEps     = 1e-14
+	gammaMaxIter = 10000
+)
+
+// lowerSeries computes P(a, x) by its power series.
+func lowerSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < gammaMaxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*gammaEps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// upperContinuedFraction computes Q(a, x) by the Lentz continued fraction.
+func upperContinuedFraction(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= gammaMaxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < gammaEps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// TwoSampleChiSquare tests whether two sets of sample counts come from the
+// same (unknown) distribution — the tool of choice when the exact Born
+// distribution is out of reach (the MO regime of the paper's Table I) and
+// two samplers must still be shown statistically indistinguishable.
+//
+// Outcomes whose combined count falls below MinExpected are pooled. The
+// statistic is Σ (K1·b_i − K2·a_i)² / (a_i + b_i) with K1 = √(n2/n1),
+// K2 = √(n1/n2), chi-square distributed with bins−1 degrees of freedom
+// under the null hypothesis.
+func TwoSampleChiSquare(a, b map[uint64]int) (ChiSquareResult, error) {
+	var n1, n2 float64
+	for _, v := range a {
+		if v < 0 {
+			return ChiSquareResult{}, fmt.Errorf("stats: negative count in sample a")
+		}
+		n1 += float64(v)
+	}
+	for _, v := range b {
+		if v < 0 {
+			return ChiSquareResult{}, fmt.Errorf("stats: negative count in sample b")
+		}
+		n2 += float64(v)
+	}
+	if n1 == 0 || n2 == 0 {
+		return ChiSquareResult{}, fmt.Errorf("stats: empty sample")
+	}
+	k1 := math.Sqrt(n2 / n1)
+	k2 := math.Sqrt(n1 / n2)
+
+	outcomes := make(map[uint64]struct{}, len(a)+len(b))
+	for k := range a {
+		outcomes[k] = struct{}{}
+	}
+	for k := range b {
+		outcomes[k] = struct{}{}
+	}
+
+	var stat float64
+	bins := 0
+	pooled := 0
+	var poolA, poolB float64
+	for k := range outcomes {
+		ai, bi := float64(a[k]), float64(b[k])
+		if ai+bi < MinExpected {
+			poolA += ai
+			poolB += bi
+			pooled++
+			continue
+		}
+		d := k1*ai - k2*bi
+		stat += d * d / (ai + bi)
+		bins++
+	}
+	if poolA+poolB > 0 {
+		d := k1*poolA - k2*poolB
+		stat += d * d / (poolA + poolB)
+		bins++
+	}
+	if bins < 2 {
+		return ChiSquareResult{Statistic: 0, DoF: 0, PValue: 1, Pooled: pooled}, nil
+	}
+	dof := bins - 1
+	return ChiSquareResult{
+		Statistic: stat,
+		DoF:       dof,
+		PValue:    ChiSquareSurvival(stat, float64(dof)),
+		Pooled:    pooled,
+	}, nil
+}

@@ -1,0 +1,236 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"weaksim/internal/rng"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTotalVariation(t *testing.T) {
+	p := []float64{0.5, 0.5, 0, 0}
+	q := []float64{0, 0, 0.5, 0.5}
+	d, err := TotalVariation(p, q)
+	if err != nil || !approx(d, 1, 1e-15) {
+		t.Errorf("TVD of disjoint distributions = %v, %v; want 1", d, err)
+	}
+	d, err = TotalVariation(p, p)
+	if err != nil || d != 0 {
+		t.Errorf("TVD of identical distributions = %v, %v; want 0", d, err)
+	}
+	if _, err := TotalVariation(p, []float64{1}); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	q := []float64{0.25, 0.75}
+	d, err := KLDivergence(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5*math.Log(2) + 0.5*math.Log(2.0/3.0)
+	if !approx(d, want, 1e-12) {
+		t.Errorf("KL = %v, want %v", d, want)
+	}
+	if d, _ := KLDivergence(p, p); d != 0 {
+		t.Errorf("KL(p,p) = %v", d)
+	}
+	if d, _ := KLDivergence([]float64{1, 0}, []float64{0, 1}); !math.IsInf(d, 1) {
+		t.Errorf("KL with disjoint support = %v, want +Inf", d)
+	}
+}
+
+func TestChiSquareSurvivalKnownValues(t *testing.T) {
+	// Reference values from standard chi-square tables.
+	cases := []struct {
+		x, k, want float64
+	}{
+		{3.841, 1, 0.05},
+		{5.991, 2, 0.05},
+		{18.307, 10, 0.05},
+		{2.706, 1, 0.10},
+		{0, 5, 1},
+		{23.209, 10, 0.01},
+	}
+	for _, tc := range cases {
+		got := ChiSquareSurvival(tc.x, tc.k)
+		if math.Abs(got-tc.want) > 2e-4 {
+			t.Errorf("ChiSquareSurvival(%v, %v) = %v, want %v", tc.x, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestChiSquareSurvivalMonotonicProperty(t *testing.T) {
+	f := func(x1, x2 float64, kRaw uint8) bool {
+		k := float64(kRaw%30 + 1)
+		x1 = math.Abs(math.Mod(x1, 100))
+		x2 = math.Abs(math.Mod(x2, 100))
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		s1 := ChiSquareSurvival(x1, k)
+		s2 := ChiSquareSurvival(x2, k)
+		return s1 >= s2-1e-12 && s1 >= 0 && s1 <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChiSquareGOFAcceptsFairSamples(t *testing.T) {
+	// Sampling from the exact distribution must pass at α = 0.001.
+	expected := []float64{0, 0.375, 0, 0.375, 0.125, 0, 0, 0.125}
+	r := rng.New(99)
+	shots := 100000
+	counts := make(map[uint64]int)
+	for i := 0; i < shots; i++ {
+		u := r.Float64()
+		var run float64
+		for idx, p := range expected {
+			run += p
+			if u < run {
+				counts[uint64(idx)]++
+				break
+			}
+		}
+	}
+	res, err := ChiSquareGOF(counts, expected, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0.001 {
+		t.Errorf("fair samples rejected: stat=%v dof=%d p=%v", res.Statistic, res.DoF, res.PValue)
+	}
+}
+
+func TestChiSquareGOFRejectsBiasedSamples(t *testing.T) {
+	expected := []float64{0.5, 0.5}
+	counts := map[uint64]int{0: 70000, 1: 30000}
+	res, err := ChiSquareGOF(counts, expected, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 1e-10 {
+		t.Errorf("grossly biased samples accepted: p=%v", res.PValue)
+	}
+}
+
+func TestChiSquareGOFImpossibleOutcome(t *testing.T) {
+	expected := []float64{1, 0}
+	counts := map[uint64]int{0: 99, 1: 1}
+	res, err := ChiSquareGOF(counts, expected, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue != 0 {
+		t.Errorf("samples in zero-probability outcome accepted: p=%v", res.PValue)
+	}
+}
+
+func TestChiSquareGOFPoolsRareOutcomes(t *testing.T) {
+	// A distribution with many tiny-probability outcomes pools them.
+	expected := make([]float64, 64)
+	expected[0] = 0.9
+	for i := 1; i < 64; i++ {
+		expected[i] = 0.1 / 63
+	}
+	counts := map[uint64]int{0: 90}
+	for i := 1; i <= 10; i++ {
+		counts[uint64(i)] = 1
+	}
+	res, err := ChiSquareGOF(counts, expected, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pooled == 0 {
+		t.Error("expected pooling of rare outcomes")
+	}
+}
+
+func TestChiSquareGOFValidation(t *testing.T) {
+	if _, err := ChiSquareGOF(map[uint64]int{0: 5}, []float64{1}, 10); err == nil {
+		t.Error("expected error for mismatched totals")
+	}
+	if _, err := ChiSquareGOF(nil, []float64{1}, 0); err == nil {
+		t.Error("expected error for zero shots")
+	}
+}
+
+func TestEmpiricalDistribution(t *testing.T) {
+	counts := map[uint64]int{1: 25, 3: 75}
+	p := EmpiricalDistribution(counts, 4, 100)
+	want := []float64{0, 0.25, 0, 0.75}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Errorf("p[%d] = %v, want %v", i, p[i], want[i])
+		}
+	}
+}
+
+func TestTwoSampleChiSquareAcceptsSameDistribution(t *testing.T) {
+	r := rng.New(42)
+	draw := func(seedless *rng.RNG, shots int) map[uint64]int {
+		counts := make(map[uint64]int)
+		probs := []float64{0.4, 0.3, 0.2, 0.1}
+		for i := 0; i < shots; i++ {
+			u := seedless.Float64()
+			var run float64
+			for idx, p := range probs {
+				run += p
+				if u < run {
+					counts[uint64(idx)]++
+					break
+				}
+			}
+		}
+		return counts
+	}
+	a := draw(r, 50000)
+	b := draw(r, 30000)
+	res, err := TwoSampleChiSquare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0.001 {
+		t.Errorf("same-distribution samples rejected: stat=%v p=%v", res.Statistic, res.PValue)
+	}
+}
+
+func TestTwoSampleChiSquareRejectsDifferentDistributions(t *testing.T) {
+	a := map[uint64]int{0: 7000, 1: 3000}
+	b := map[uint64]int{0: 3000, 1: 7000}
+	res, err := TwoSampleChiSquare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 1e-10 {
+		t.Errorf("clearly different samples accepted: p=%v", res.PValue)
+	}
+}
+
+func TestTwoSampleChiSquareValidation(t *testing.T) {
+	if _, err := TwoSampleChiSquare(nil, map[uint64]int{0: 1}); err == nil {
+		t.Error("expected error for empty sample")
+	}
+	if _, err := TwoSampleChiSquare(map[uint64]int{0: -1}, map[uint64]int{0: 1}); err == nil {
+		t.Error("expected error for negative count")
+	}
+}
+
+func TestTwoSampleChiSquareUnequalSizes(t *testing.T) {
+	// Very different shot counts from the same distribution must accept.
+	a := map[uint64]int{0: 100000, 1: 100000}
+	b := map[uint64]int{0: 510, 1: 490}
+	res, err := TwoSampleChiSquare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0.01 {
+		t.Errorf("unequal-size same-distribution samples rejected: p=%v", res.PValue)
+	}
+}

@@ -1,0 +1,55 @@
+package weaksim_test
+
+// Long-horizon health checks: decision diagrams must stay compact and
+// accurate over tens of thousands of gate applications (Grover's algorithm
+// is the paper's stress case — grover_35 runs 144k iterations). These tests
+// guard the fixed-grid value-interning design in internal/cnum against
+// regressions that only show up at scale; they are skipped under -short.
+
+import (
+	"fmt"
+	"testing"
+
+	"weaksim"
+	"weaksim/internal/algo"
+)
+
+func TestGroverLongRunStaysCompact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-horizon check skipped under -short")
+	}
+	for _, n := range []int{13, 16} {
+		name := fmt.Sprintf("grover_%d", n)
+		c, err := weaksim.GenerateBenchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		state, err := weaksim.Simulate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The exact Grover state needs ~2n nodes; interning-grid boundary
+		// straddles can duplicate a bounded number of them. Anything near
+		// 2^n means sharing collapsed.
+		if nodes := state.NodeCount(); nodes > 50*n {
+			t.Errorf("%s: %d DD nodes — node sharing degraded (want O(n))", name, nodes)
+		}
+		// Accuracy end to end: the marked element must dominate samples.
+		_, marked := algo.Grover(n, algo.DefaultSeed)
+		sampler, err := state.Sampler(weaksim.WithSeed(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shots := 2000
+		hit := 0
+		mask := uint64(1)<<uint(n) - 1
+		for i := 0; i < shots; i++ {
+			if sampler.ShotIndex()&mask == marked {
+				hit++
+			}
+		}
+		if frac := float64(hit) / float64(shots); frac < 0.95 {
+			t.Errorf("%s: marked element sampled %.1f%% of the time, want >95%%", name, 100*frac)
+		}
+	}
+}

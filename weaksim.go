@@ -1,0 +1,427 @@
+package weaksim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"weaksim/internal/algo"
+	"weaksim/internal/circuit"
+	"weaksim/internal/cnum"
+	"weaksim/internal/core"
+	"weaksim/internal/dd"
+	"weaksim/internal/gate"
+	"weaksim/internal/rng"
+	"weaksim/internal/sim"
+	"weaksim/internal/statevec"
+)
+
+// Circuit is the quantum-circuit intermediate representation. Construct one
+// with NewCircuit and the chainable gate methods (H, X, CX, CCX, ...), or
+// obtain a paper benchmark via GenerateBenchmark.
+type Circuit = circuit.Circuit
+
+// Gate is a single-qubit gate instance; see the gate constructors
+// re-exported below.
+type Gate = gate.Gate
+
+// Control designates a control qubit of a gate.
+type Control = gate.Control
+
+// Norm selects the decision-diagram edge-weight normalization scheme.
+type Norm = dd.Norm
+
+// Normalization schemes: NormLeft divides by the leftmost non-zero edge
+// weight (the conventional scheme); NormL2 divides by the Euclidean norm of
+// the weight pair (the paper's proposal, Section IV-C); NormL2Phase
+// additionally extracts the leading phase for full canonicity. The default
+// is NormL2Phase.
+const (
+	NormLeft    = dd.NormLeft
+	NormL2      = dd.NormL2
+	NormL2Phase = dd.NormL2Phase
+)
+
+// NewCircuit returns an empty circuit on n qubits. Qubit 0 is the least
+// significant (rightmost) bit of a measured bitstring.
+func NewCircuit(n int, name string) *Circuit { return circuit.New(n, name) }
+
+// GenerateBenchmark builds one of the paper's Table I benchmark circuits by
+// name: qft_A, grover_A, shor_N_a, jellium_AxA, supremacy_AxB_D, as well as
+// running_example and figure1.
+func GenerateBenchmark(name string) (*Circuit, error) { return algo.Generate(name) }
+
+// TableIBenchmarks lists the names of the paper's Table I rows in order.
+func TableIBenchmarks() []string { return algo.TableIBenchmarks() }
+
+// ErrMemoryOut reports that a dense state vector would exceed the memory
+// budget — the "MO" entries of the paper's Table I.
+var ErrMemoryOut = statevec.ErrMemoryOut
+
+// Method selects a sampling algorithm.
+type Method int
+
+const (
+	// MethodDD samples by randomized decision-diagram traversal (paper
+	// Section IV). The default.
+	MethodDD Method = iota
+	// MethodPrefix samples by binary search on a prefix-sum array (paper
+	// Section III). Requires expanding the state to a dense vector.
+	MethodPrefix
+	// MethodLinear samples by linear traversal of the probability array.
+	MethodLinear
+	// MethodAlias samples by Walker's alias method (ablation).
+	MethodAlias
+)
+
+// String returns the method name used in CLI flags and benchmarks.
+func (m Method) String() string {
+	switch m {
+	case MethodDD:
+		return "dd"
+	case MethodPrefix:
+		return "prefix"
+	case MethodLinear:
+		return "linear"
+	case MethodAlias:
+		return "alias"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ParseMethod converts a CLI flag value into a Method.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "dd":
+		return MethodDD, nil
+	case "prefix":
+		return MethodPrefix, nil
+	case "linear":
+		return MethodLinear, nil
+	case "alias":
+		return MethodAlias, nil
+	}
+	return 0, fmt.Errorf("weaksim: unknown sampling method %q (want dd, prefix, linear, or alias)", s)
+}
+
+type config struct {
+	norm         Norm
+	seed         uint64
+	method       Method
+	vectorQubits int
+	forceGeneric bool
+}
+
+func newConfig(opts []Option) config {
+	c := config{norm: NormL2Phase, seed: 1, method: MethodDD}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// Option configures simulation and sampling.
+type Option func(*config)
+
+// WithNormalization selects the DD normalization scheme (default
+// NormL2Phase).
+func WithNormalization(n Norm) Option { return func(c *config) { c.norm = n } }
+
+// WithSeed seeds all randomness (default 1). Equal seeds give identical
+// samples.
+func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// WithMethod selects the sampling algorithm (default MethodDD).
+func WithMethod(m Method) Option { return func(c *config) { c.method = m } }
+
+// WithVectorBudget bounds dense state vectors to 2^qubits amplitudes
+// (default statevec.DefaultMaxQubits = 26). Larger circuits yield
+// ErrMemoryOut from the dense paths, mirroring the paper's MO entries.
+func WithVectorBudget(qubits int) Option { return func(c *config) { c.vectorQubits = qubits } }
+
+// WithGenericTraversal forces the downstream-probability precomputation in
+// the DD sampler even under L2 normalization (ablation).
+func WithGenericTraversal() Option { return func(c *config) { c.forceGeneric = true } }
+
+// State is a strongly-simulated final quantum state in decision-diagram
+// form, ready for repeated weak simulation.
+type State struct {
+	mgr  *dd.Manager
+	edge dd.VEdge
+	cfg  config
+}
+
+// Simulate strongly simulates the circuit on the decision-diagram backend
+// and returns the final state.
+func Simulate(c *Circuit, opts ...Option) (*State, error) {
+	cfg := newConfig(opts)
+	s, err := sim.NewDD(c, sim.WithManagerOptions(dd.WithNormalization(cfg.norm)))
+	if err != nil {
+		return nil, err
+	}
+	edge, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &State{mgr: s.Manager(), edge: edge, cfg: cfg}, nil
+}
+
+// Qubits returns the number of qubits of the state.
+func (s *State) Qubits() int { return s.mgr.Qubits() }
+
+// NodeCount returns the number of decision-diagram nodes representing the
+// state — the "size" column of the paper's Table I.
+func (s *State) NodeCount() int { return s.mgr.NodeCount(s.edge) }
+
+// Norm2 returns the squared norm of the state (1 for a valid state).
+func (s *State) Norm2() float64 { return s.mgr.Norm2(s.edge) }
+
+// Amplitude returns the amplitude of the basis state written as a bitstring
+// (most significant qubit first, as printed by Sampler.Shot).
+func (s *State) Amplitude(bits string) (complex128, error) {
+	idx, err := core.ParseBits(bits)
+	if err != nil {
+		return 0, err
+	}
+	return s.AmplitudeAt(idx)
+}
+
+// AmplitudeAt returns the amplitude of basis-state index idx (bit k of idx
+// is qubit k).
+func (s *State) AmplitudeAt(idx uint64) (complex128, error) {
+	if s.Qubits() < 64 && idx >= uint64(1)<<uint(s.Qubits()) {
+		return 0, fmt.Errorf("weaksim: basis state %d out of range", idx)
+	}
+	return s.mgr.Amplitude(s.edge, idx).ToComplex128(), nil
+}
+
+// Probability returns the Born probability of the basis state written as a
+// bitstring.
+func (s *State) Probability(bits string) (float64, error) {
+	a, err := s.Amplitude(bits)
+	if err != nil {
+		return 0, err
+	}
+	return real(a)*real(a) + imag(a)*imag(a), nil
+}
+
+// Probabilities expands the full Born distribution. It fails with
+// ErrMemoryOut when the state exceeds the vector budget; that is the point
+// at which only MethodDD sampling remains available.
+func (s *State) Probabilities() ([]float64, error) {
+	amps, err := s.vector()
+	if err != nil {
+		return nil, err
+	}
+	probs := make([]float64, len(amps))
+	for i, a := range amps {
+		probs[i] = a.Abs2()
+	}
+	return probs, nil
+}
+
+func (s *State) vector() ([]cnum.Complex, error) {
+	budget := s.cfg.vectorQubits
+	if budget <= 0 {
+		budget = statevec.DefaultMaxQubits
+	}
+	if s.Qubits() > budget || s.Qubits() > dd.MaxDenseQubits {
+		return nil, fmt.Errorf("%w: %d qubits exceed the dense budget %d",
+			ErrMemoryOut, s.Qubits(), budget)
+	}
+	return s.mgr.ToVector(s.edge)
+}
+
+// Sampler prepares repeated weak simulation of the state with the
+// configured method. The state's options (seed, method, budget) may be
+// overridden per sampler.
+func (s *State) Sampler(opts ...Option) (*Sampler, error) {
+	cfg := s.cfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var inner core.Sampler
+	switch cfg.method {
+	case MethodDD:
+		var ddOpts []core.DDSamplerOption
+		if cfg.forceGeneric {
+			ddOpts = append(ddOpts, core.ForceGeneric())
+		}
+		ds, err := core.NewDDSampler(s.mgr, s.edge, ddOpts...)
+		if err != nil {
+			return nil, err
+		}
+		inner = ds
+	case MethodPrefix, MethodLinear, MethodAlias:
+		amps, err := s.vector()
+		if err != nil {
+			return nil, err
+		}
+		probs := core.ProbabilitiesFromAmplitudes(amps)
+		switch cfg.method {
+		case MethodPrefix:
+			inner, err = core.NewPrefixSampler(probs)
+		case MethodLinear:
+			inner, err = core.NewLinearSampler(probs)
+		default:
+			inner, err = core.NewAliasSampler(probs)
+		}
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("weaksim: unknown sampling method %v", cfg.method)
+	}
+	return &Sampler{inner: inner, n: s.Qubits(), rand: rng.New(cfg.seed)}, nil
+}
+
+// Sampler draws measurement outcomes from a simulated state. It is a
+// read-only view: sampling may be repeated indefinitely.
+type Sampler struct {
+	inner core.Sampler
+	n     int
+	rand  *rng.RNG
+}
+
+// Qubits returns the width of sampled bitstrings.
+func (s *Sampler) Qubits() int { return s.n }
+
+// ShotIndex draws one sample as a basis-state index.
+func (s *Sampler) ShotIndex() uint64 { return s.inner.Sample(s.rand) }
+
+// Shot draws one sample as a bitstring, most significant qubit first —
+// exactly what a physical quantum computer would print.
+func (s *Sampler) Shot() string { return core.FormatBits(s.ShotIndex(), s.n) }
+
+// Counts draws shots samples and tallies them by bitstring.
+func (s *Sampler) Counts(shots int) map[string]int {
+	counts := make(map[string]int)
+	for i := 0; i < shots; i++ {
+		counts[s.Shot()]++
+	}
+	return counts
+}
+
+// CountsByIndex draws shots samples and tallies them by basis-state index.
+func (s *Sampler) CountsByIndex(shots int) map[uint64]int {
+	return core.Counts(s.inner, s.rand, shots)
+}
+
+// Run is the one-call weak simulation of the paper's Fig. 2: strong
+// simulation on the DD backend followed by shots measurement samples,
+// returned as bitstring counts.
+func Run(c *Circuit, shots int, opts ...Option) (map[string]int, error) {
+	if shots < 1 {
+		return nil, errors.New("weaksim: shots must be positive")
+	}
+	state, err := Simulate(c, opts...)
+	if err != nil {
+		return nil, err
+	}
+	sampler, err := state.Sampler()
+	if err != nil {
+		return nil, err
+	}
+	return sampler.Counts(shots), nil
+}
+
+// Re-exported gate constructors for circuit building.
+var (
+	// XGate is the Pauli-X (NOT) gate.
+	XGate = gate.XGate
+	// YGate is the Pauli-Y gate.
+	YGate = gate.YGate
+	// ZGate is the Pauli-Z gate.
+	ZGate = gate.ZGate
+	// HGate is the Hadamard gate.
+	HGate = gate.HGate
+	// SGate is the phase gate diag(1, i).
+	SGate = gate.SGate
+	// TGate is the T gate diag(1, e^{iπ/4}).
+	TGate = gate.TGate
+)
+
+// RXGate returns the X rotation by θ.
+func RXGate(theta float64) Gate { return gate.RXGate(theta) }
+
+// RYGate returns the Y rotation by θ.
+func RYGate(theta float64) Gate { return gate.RYGate(theta) }
+
+// RZGate returns the Z rotation by θ.
+func RZGate(theta float64) Gate { return gate.RZGate(theta) }
+
+// PhaseGate returns diag(1, e^{iθ}).
+func PhaseGate(theta float64) Gate { return gate.PhaseGate(theta) }
+
+// Pos is a positive control on qubit q.
+func Pos(q int) Control { return gate.Pos(q) }
+
+// Neg is a negative control on qubit q.
+func Neg(q int) Control { return gate.Neg(q) }
+
+// Approximate returns a pruned copy of the state: branches whose total
+// traversal probability falls below threshold are removed and the rest is
+// renormalized. The returned fidelity |⟨approx|exact⟩|² quantifies the
+// sampling error introduced — weak simulation "with some error" in exchange
+// for a smaller diagram.
+func (s *State) Approximate(threshold float64) (*State, float64, error) {
+	edge, fidelity, err := core.Approximate(s.mgr, s.edge, threshold)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &State{mgr: s.mgr, edge: edge, cfg: s.cfg}, fidelity, nil
+}
+
+// MeasureQubit performs a destructive single-qubit measurement: it returns
+// the observed bit and the collapsed, renormalized post-measurement state.
+// Unlike Sampler (which is read-only and repeatable), this is the operation
+// physical hardware actually offers.
+func (s *State) MeasureQubit(qubit int, seed uint64) (int, *State, error) {
+	bit, post, err := core.MeasureQubit(s.mgr, s.edge, qubit, rng.New(seed))
+	if err != nil {
+		return 0, nil, err
+	}
+	return bit, &State{mgr: s.mgr, edge: post, cfg: s.cfg}, nil
+}
+
+// QubitProbability returns the probability that measuring the given qubit
+// yields 1.
+func (s *State) QubitProbability(qubit int) (float64, error) {
+	return core.QubitProbability(s.mgr, s.edge, qubit)
+}
+
+// WriteDOT renders the state's decision diagram in Graphviz DOT format
+// (render with `dot -Tsvg`), in the style of the paper's Fig. 4.
+func (s *State) WriteDOT(w io.Writer, title string) error {
+	return s.mgr.WriteDOT(w, s.edge, title)
+}
+
+// Optimize simplifies the circuit in place with exact, semantics-preserving
+// rewrites (cancel self-inverse pairs, merge adjacent rotations, drop
+// identities) and returns how many operations were eliminated.
+func Optimize(c *Circuit) int {
+	return circuit.Optimize(c).Total()
+}
+
+// Outcome is a basis state with its exact Born probability.
+type Outcome struct {
+	Bits        string
+	Probability float64
+}
+
+// TopOutcomes returns the k most probable measurement outcomes exactly, in
+// descending order, via best-first search over the decision diagram — no
+// 2^n enumeration, so it works in the regime where the dense distribution
+// cannot be stored.
+func (s *State) TopOutcomes(k int) ([]Outcome, error) {
+	raw, err := core.TopOutcomes(s.mgr, s.edge, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Outcome, len(raw))
+	for i, o := range raw {
+		out[i] = Outcome{Bits: core.FormatBits(o.Index, s.Qubits()), Probability: o.Probability}
+	}
+	return out, nil
+}

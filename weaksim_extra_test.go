@@ -1,0 +1,212 @@
+package weaksim_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"weaksim"
+	"weaksim/internal/algo"
+	"weaksim/internal/stats"
+)
+
+func TestFacadeApproximate(t *testing.T) {
+	c, _ := weaksim.GenerateBenchmark("running_example")
+	state, err := weaksim.Simulate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, fidelity, err := state.Approximate(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fidelity-0.75) > 1e-9 {
+		t.Errorf("fidelity = %v, want 3/4", fidelity)
+	}
+	// The pruned branch (q2 = 1) must be gone from samples.
+	sampler, err := approx.Sampler(weaksim.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if shot := sampler.Shot(); shot[0] == '1' {
+			t.Fatalf("sampled pruned branch: %s", shot)
+		}
+	}
+	if _, _, err := state.Approximate(1.5); err == nil {
+		t.Error("expected error for threshold > 1")
+	}
+}
+
+func TestFacadeMeasureQubit(t *testing.T) {
+	c := weaksim.NewCircuit(2, "bell")
+	c.H(0).CX(0, 1)
+	state, err := weaksim.Simulate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := state.QubitProbability(0)
+	if err != nil || math.Abs(p-0.5) > 1e-9 {
+		t.Fatalf("P(q0=1) = %v, %v; want 1/2", p, err)
+	}
+	seen := map[int]bool{}
+	for seed := uint64(1); seed <= 30; seed++ {
+		bit, post, err := state.MeasureQubit(0, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[bit] = true
+		// Bell correlations: the partner qubit collapses with it.
+		p1, err := post.QubitProbability(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p1-float64(bit)) > 1e-9 {
+			t.Errorf("measured q0=%d but P(q1=1)=%v", bit, p1)
+		}
+		if n2 := post.Norm2(); math.Abs(n2-1) > 1e-9 {
+			t.Errorf("post-measurement norm² = %v", n2)
+		}
+	}
+	if !seen[0] || !seen[1] {
+		t.Error("30 seeded measurements of a fair qubit saw only one outcome")
+	}
+	if _, _, err := state.MeasureQubit(5, 1); err == nil {
+		t.Error("expected error for out-of-range qubit")
+	}
+}
+
+func TestExtensionBenchmarksRunEndToEnd(t *testing.T) {
+	for _, name := range []string{"ghz_10", "wstate_6", "bv_9", "dj_6_balanced"} {
+		c, err := weaksim.GenerateBenchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts, err := weaksim.Run(c, 200, weaksim.WithSeed(3))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		total := 0
+		for _, n := range counts {
+			total += n
+		}
+		if total != 200 {
+			t.Errorf("%s: %d samples, want 200", name, total)
+		}
+	}
+}
+
+func TestGHZSamplesAreCorrelated(t *testing.T) {
+	c, _ := weaksim.GenerateBenchmark("ghz_12")
+	counts, err := weaksim.Run(c, 1000, weaksim.WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := counts["000000000000"]
+	ones := counts["111111111111"]
+	if zeros+ones != 1000 {
+		t.Errorf("GHZ produced uncorrelated outcomes: %v", counts)
+	}
+	if zeros == 0 || ones == 0 {
+		t.Errorf("GHZ missing a branch: %v", counts)
+	}
+}
+
+func TestSamplersIndistinguishableWithoutExactDistribution(t *testing.T) {
+	// The MO-regime check: when the exact distribution is unavailable (or
+	// just not consulted), two independent samplers over the same state
+	// must be statistically indistinguishable from each other. Uses the
+	// peaky shor_33_2 distribution and the two-sample chi-square.
+	c, err := weaksim.GenerateBenchmark("shor_33_2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := weaksim.Simulate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ddSampler, err := state.Sampler(weaksim.WithMethod(weaksim.MethodDD), weaksim.WithSeed(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefixSampler, err := state.Sampler(weaksim.WithMethod(weaksim.MethodPrefix), weaksim.WithSeed(202))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shots := 30000
+	a := ddSampler.CountsByIndex(shots)
+	b := prefixSampler.CountsByIndex(shots)
+	res, err := stats.TwoSampleChiSquare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 1e-6 {
+		t.Errorf("DD and prefix samplers distinguishable: stat=%.2f dof=%d p=%v",
+			res.Statistic, res.DoF, res.PValue)
+	}
+}
+
+func TestFacadeTopOutcomes(t *testing.T) {
+	c, _ := weaksim.GenerateBenchmark("running_example")
+	state, err := weaksim.Simulate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := state.TopOutcomes(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 {
+		t.Fatalf("got %d outcomes", len(top))
+	}
+	want := map[string]bool{"001": true, "011": true}
+	for _, o := range top {
+		if !want[o.Bits] {
+			t.Errorf("unexpected top outcome %q", o.Bits)
+		}
+		if math.Abs(o.Probability-0.375) > 1e-9 {
+			t.Errorf("probability %v, want 3/8", o.Probability)
+		}
+	}
+	if _, err := state.TopOutcomes(0); err == nil {
+		t.Error("expected error for k=0")
+	}
+}
+
+func TestFacadeWriteDOT(t *testing.T) {
+	c, _ := weaksim.GenerateBenchmark("running_example")
+	state, _ := weaksim.Simulate(c)
+	var sb strings.Builder
+	if err := state.WriteDOT(&sb, "re"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "digraph") {
+		t.Error("DOT output missing digraph header")
+	}
+}
+
+func TestShorEndToEndFactors15(t *testing.T) {
+	// The full user journey: simulate shor_15_2, sample the counting
+	// register, push samples through continued fractions until a factor
+	// falls out — as examples/shor does.
+	c, err := weaksim.GenerateBenchmark("shor_15_2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := weaksim.Simulate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler, err := state.Sampler(weaksim.WithSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	workBits, countBits := algo.ShorCountingBits(15)
+	for shot := 0; shot < 40; shot++ {
+		y := sampler.ShotIndex() >> uint(workBits)
+		if f := algo.FactorFromMeasurement(15, 2, y, countBits); f == 3 || f == 5 {
+			return // success
+		}
+	}
+	t.Error("40 shots never produced a factor of 15")
+}
