@@ -1,0 +1,33 @@
+# Development targets. `make check` is the tier-1 gate: everything a commit
+# must pass. `make race` adds the race detector over the short suite —
+# the Manager is documented single-threaded, so this guards the test
+# harness itself and any future parallel sampler work.
+
+GO ?= go
+
+.PHONY: check build vet test race bench table clean
+
+check: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# The sampling fast path benchmark watched for regressions (Section IV).
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkDDSampling -benchtime 2s .
+
+# Regenerate the Table I rows that fit a laptop.
+table:
+	$(GO) run ./cmd/benchtable
+
+clean:
+	$(GO) clean ./...

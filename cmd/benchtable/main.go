@@ -18,6 +18,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -54,11 +56,13 @@ var fastRows = []string{
 
 func run() error {
 	var (
-		rows   = flag.String("rows", "fast", `"fast", "all", or a comma-separated list of Table I rows`)
-		shots  = flag.Int("shots", 1000000, "samples per row (paper: one million)")
-		seed   = flag.Uint64("seed", 1, "sampling seed")
-		budget = flag.Int("vector-budget", 26, "max log2(state vector entries) for the vector-based column; larger rows report MO")
-		norm   = flag.String("norm", "l2phase", "DD normalization scheme: left, l2, or l2phase")
+		rows     = flag.String("rows", "fast", `"fast", "all", or a comma-separated list of Table I rows`)
+		shots    = flag.Int("shots", 1000000, "samples per row (paper: one million)")
+		seed     = flag.Uint64("seed", 1, "sampling seed")
+		budget   = flag.Int("vector-budget", 26, "max log2(state vector entries) for the vector-based column; larger rows report MO")
+		norm     = flag.String("norm", "l2phase", "DD normalization scheme: left, l2, or l2phase")
+		timeout  = flag.Duration("timeout", 0, "per-row wall-clock bound; rows exceeding it report TO like the paper (0 = none)")
+		ddBudget = flag.Int("dd-node-budget", 0, "max live DD nodes per row; rows exceeding it report MO in the DD columns (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -78,7 +82,14 @@ func run() error {
 
 	fmt.Printf("Table I reproduction: error-free sampling of %d bitstrings (seed %d, norm %s)\n",
 		*shots, *seed, normScheme)
-	fmt.Printf("vector budget: 2^%d entries; larger rows report MO as in the paper\n\n", *budget)
+	fmt.Printf("vector budget: 2^%d entries; larger rows report MO as in the paper\n", *budget)
+	if *ddBudget > 0 {
+		fmt.Printf("DD node budget: %d live nodes; rows exceeding it report MO in the DD columns\n", *ddBudget)
+	}
+	if *timeout > 0 {
+		fmt.Printf("per-row timeout: %v; rows exceeding it report TO\n", *timeout)
+	}
+	fmt.Println()
 	fmt.Printf("%-18s %6s | %8s %10s | %12s %10s | %10s\n",
 		"benchmark", "qubits", "vec size", "vec t[s]", "DD size", "DD t[s]", "sim t[s]")
 	fmt.Println(strings.Repeat("-", 88))
@@ -88,26 +99,56 @@ func run() error {
 		if name == "" {
 			continue
 		}
-		if err := runRow(name, *shots, *seed, *budget, normScheme); err != nil {
+		if err := runRow(name, *shots, *seed, *budget, *ddBudget, *timeout, normScheme); err != nil {
 			fmt.Printf("%-18s ERROR: %v\n", name, err)
 		}
 	}
 	return nil
 }
 
-func runRow(name string, shots int, seed uint64, budget int, norm dd.Norm) error {
+// cell classifies a resource failure the way the paper's Table I does:
+// "MO" for memory/node-budget exhaustion, "TO" for a blown deadline.
+func cell(err error) (string, bool) {
+	switch {
+	case errors.Is(err, dd.ErrNodeBudget):
+		return "MO", true
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return "TO", true
+	}
+	return "", false
+}
+
+func runRow(name string, shots int, seed uint64, budget, ddBudget int, timeout time.Duration, norm dd.Norm) error {
 	c, err := algo.Generate(name)
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 
+	mgrOpts := []dd.Option{dd.WithNormalization(norm)}
+	if ddBudget > 0 {
+		mgrOpts = append(mgrOpts, dd.WithNodeBudget(ddBudget))
+	}
 	simStart := time.Now()
-	s, err := sim.NewDD(c, sim.WithManagerOptions(dd.WithNormalization(norm)))
+	s, err := sim.NewDD(c, sim.WithManagerOptions(mgrOpts...))
 	if err != nil {
 		return err
 	}
-	state, err := s.Run()
+	state, err := s.RunContext(ctx)
 	if err != nil {
+		// Strong simulation itself was budgeted out or timed out: neither
+		// sampling column can run — the whole row is MO/TO, as in the
+		// paper's vector rows that never complete.
+		if mark, ok := cell(err); ok {
+			fmt.Printf("%-18s %6d | %8s %10s | %12s %10s | %10s\n",
+				name, c.NQubits, mark, mark, mark, mark, mark)
+			return nil
+		}
 		return err
 	}
 	simTime := time.Since(simStart)
@@ -130,14 +171,16 @@ func runRow(name string, shots int, seed uint64, budget int, norm dd.Norm) error
 		if err != nil {
 			return err
 		}
-		r := rng.New(seed)
-		var sink uint64
-		for i := 0; i < shots; i++ {
-			sink ^= sampler.Sample(r)
+		if err := sampleSink(ctx, sampler, seed, shots); err != nil {
+			if mark, ok := cell(err); ok {
+				vecCol, vecTime = mark, mark
+			} else {
+				return err
+			}
+		} else {
+			vecTime = fmt.Sprintf("%.2f", time.Since(start).Seconds())
+			vecCol = fmt.Sprintf("2^%d", c.NQubits)
 		}
-		_ = sink
-		vecTime = fmt.Sprintf("%.2f", time.Since(start).Seconds())
-		vecCol = fmt.Sprintf("2^%d", c.NQubits)
 	}
 
 	// DD-based column: precompute branch probabilities (a no-op under L2
@@ -147,16 +190,35 @@ func runRow(name string, shots int, seed uint64, budget int, norm dd.Norm) error
 	if err != nil {
 		return err
 	}
+	ddSize := fmt.Sprintf("%6d ≈2^%-4.1f", nodeCount, math.Log2(float64(nodeCount)))
+	var ddTime string
+	if err := sampleSink(ctx, ddSampler, seed, shots); err != nil {
+		if mark, ok := cell(err); ok {
+			ddTime = mark
+		} else {
+			return err
+		}
+	} else {
+		ddTime = fmt.Sprintf("%.2f", time.Since(start).Seconds())
+	}
+
+	fmt.Printf("%-18s %6d | %8s %10s | %12s %10s | %10.2f\n",
+		name, c.NQubits, vecCol, vecTime, ddSize, ddTime, simTime.Seconds())
+	return nil
+}
+
+// sampleSink draws shots samples into a throwaway sink, checking the
+// context every core.CtxCheckShots samples so a per-row timeout turns into
+// a TO cell instead of a hung table.
+func sampleSink(ctx context.Context, sampler core.Sampler, seed uint64, shots int) error {
 	r := rng.New(seed)
 	var sink uint64
 	for i := 0; i < shots; i++ {
-		sink ^= ddSampler.Sample(r)
+		if i%core.CtxCheckShots == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		sink ^= sampler.Sample(r)
 	}
 	_ = sink
-	ddTime := time.Since(start).Seconds()
-
-	fmt.Printf("%-18s %6d | %8s %10s | %6d ≈2^%-4.1f %10.2f | %10.2f\n",
-		name, c.NQubits, vecCol, vecTime,
-		nodeCount, math.Log2(float64(nodeCount)), ddTime, simTime.Seconds())
 	return nil
 }

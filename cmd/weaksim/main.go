@@ -15,6 +15,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,10 +30,39 @@ import (
 	"weaksim/internal/stats"
 )
 
+// Exit codes. Resource exhaustion and timeouts are distinguishable so
+// harnesses can record the paper's "MO"/"TO" cells from the exit status.
+const (
+	exitOK      = 0
+	exitError   = 1 // any other failure
+	exitUsage   = 2 // bad flags or arguments (flag package also uses 2)
+	exitMO      = 3 // memory out: vector budget or DD node budget exceeded
+	exitTimeout = 4 // timed out or cancelled (-timeout)
+)
+
+// errUsage marks command-line usage errors (exit code 2).
+var errUsage = errors.New("usage error")
+
 func main() {
-	if err := run(); err != nil {
+	err := run()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "weaksim:", err)
-		os.Exit(1)
+	}
+	os.Exit(exitCode(err))
+}
+
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, weaksim.ErrMemoryOut), errors.Is(err, weaksim.ErrNodeBudget):
+		return exitMO
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return exitTimeout
+	case errors.Is(err, errUsage):
+		return exitUsage
+	default:
+		return exitError
 	}
 }
 
@@ -52,8 +83,31 @@ func run() error {
 		dotFile   = flag.String("dot", "", "write the final state's decision diagram as Graphviz DOT to this file")
 		exactTop  = flag.Int("exact-top", 0, "print the k most probable outcomes exactly (no sampling, works beyond the vector budget)")
 		list      = flag.Bool("list", false, "list the paper's Table I benchmark names and exit")
+		timeout   = flag.Duration("timeout", 0, "bound total wall-clock time; exceeding it exits with code 4 (TO)")
+		ddBudget  = flag.Int("dd-node-budget", 0, "max live decision-diagram nodes; exceeding it exits with code 3 (MO). 0 = unlimited")
+		auto      = flag.Bool("auto", false, "use the degradation planner: vector backend first, DD on MO, approximation under -min-fidelity")
+		minFid    = flag.Float64("min-fidelity", 0, "with -auto: allow DD approximation under node-budget pressure down to this fidelity floor (0 = exact only)")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "Usage of %s:\n", os.Args[0])
+		flag.PrintDefaults()
+		fmt.Fprint(flag.CommandLine.Output(), `
+Exit codes:
+  0  success
+  1  simulation error
+  2  usage error
+  3  resource budget exceeded — vector memory or DD node budget (the paper's MO)
+  4  timed out under -timeout (the paper's TO)
+`)
+	}
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *list {
 		for _, name := range weaksim.TableIBenchmarks() {
@@ -74,11 +128,11 @@ func run() error {
 
 	m, err := weaksim.ParseMethod(*method)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %v", errUsage, err)
 	}
 	normScheme, err := parseNorm(*norm)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %v", errUsage, err)
 	}
 
 	opts := []weaksim.Option{
@@ -89,9 +143,24 @@ func run() error {
 	if *budget > 0 {
 		opts = append(opts, weaksim.WithVectorBudget(*budget))
 	}
+	if *ddBudget > 0 {
+		opts = append(opts, weaksim.WithNodeBudget(*ddBudget))
+	}
+	if *minFid > 0 {
+		opts = append(opts, weaksim.WithMinFidelity(*minFid))
+	}
 
 	start := time.Now()
-	state, err := weaksim.Simulate(c, opts...)
+	var state *weaksim.State
+	if *auto {
+		var report *weaksim.RunReport
+		state, report, err = weaksim.SimulateAuto(ctx, c, opts...)
+		if report != nil && *showStats {
+			fmt.Fprintln(os.Stderr, report)
+		}
+	} else {
+		state, err = weaksim.SimulateContext(ctx, c, opts...)
+	}
 	if err != nil {
 		return fmt.Errorf("strong simulation: %w", err)
 	}
@@ -132,7 +201,10 @@ func run() error {
 	var indexCounts map[uint64]int
 	switch {
 	case *verify:
-		indexCounts = sampler.CountsByIndex(*shots)
+		indexCounts, err = sampler.CountsByIndexContext(ctx, *shots)
+		if err != nil {
+			return fmt.Errorf("sampling: %w", err)
+		}
 		if *histogram || *top > 0 {
 			counts := make(map[string]int, len(indexCounts))
 			for idx, n := range indexCounts {
@@ -141,9 +213,16 @@ func run() error {
 			printHistogram(counts, *shots, *top)
 		}
 	case *histogram || *top > 0:
-		printHistogram(sampler.Counts(*shots), *shots, *top)
+		counts, err := sampler.CountsContext(ctx, *shots)
+		if err != nil {
+			return fmt.Errorf("sampling: %w", err)
+		}
+		printHistogram(counts, *shots, *top)
 	default:
 		for i := 0; i < *shots; i++ {
+			if i%core.CtxCheckShots == 0 && ctx.Err() != nil {
+				return fmt.Errorf("sampling: interrupted after %d/%d shots: %w", i, *shots, ctx.Err())
+			}
 			fmt.Println(sampler.Shot())
 		}
 	}
@@ -179,7 +258,7 @@ func run() error {
 func loadCircuit(bench, qasmFile string) (*weaksim.Circuit, error) {
 	switch {
 	case bench != "" && qasmFile != "":
-		return nil, fmt.Errorf("pass either -bench or -qasm, not both")
+		return nil, fmt.Errorf("%w: pass either -bench or -qasm, not both", errUsage)
 	case bench != "":
 		return weaksim.GenerateBenchmark(bench)
 	case qasmFile != "":
@@ -193,8 +272,8 @@ func loadCircuit(bench, qasmFile string) (*weaksim.Circuit, error) {
 		}
 		return qasm.Parse(string(src), name)
 	default:
-		return nil, fmt.Errorf("pass -bench <name> or -qasm <file>; available benchmarks include %s",
-			strings.Join(weaksim.TableIBenchmarks(), ", "))
+		return nil, fmt.Errorf("%w: pass -bench <name> or -qasm <file>; available benchmarks include %s",
+			errUsage, strings.Join(weaksim.TableIBenchmarks(), ", "))
 	}
 }
 

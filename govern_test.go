@@ -1,0 +1,227 @@
+package weaksim_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"weaksim"
+)
+
+// TestNodeBudgetSurvivesFacadeWrapping: the typed DD budget error must be
+// detectable with errors.Is through every layer of facade wrapping, exactly
+// like ErrMemoryOut on the vector side.
+func TestNodeBudgetSurvivesFacadeWrapping(t *testing.T) {
+	c, err := weaksim.GenerateBenchmark("qft_16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = weaksim.SimulateContext(context.Background(), c, weaksim.WithNodeBudget(40))
+	if !errors.Is(err, weaksim.ErrNodeBudget) {
+		t.Fatalf("qft_16 under 40-node budget: err = %v, want ErrNodeBudget", err)
+	}
+	// The same failure through the one-call API.
+	_, err = weaksim.Run(c, 10, weaksim.WithNodeBudget(40))
+	if !errors.Is(err, weaksim.ErrNodeBudget) {
+		t.Fatalf("Run under budget: err = %v, want ErrNodeBudget", err)
+	}
+}
+
+func TestInvalidOpSurvivesFacadeWrapping(t *testing.T) {
+	c := weaksim.NewCircuit(2, "bad")
+	c.H(5) // out of range
+	_, err := weaksim.Simulate(c)
+	if err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+	// Validation rejects it before either backend runs; the error must be
+	// an ordinary returned error, never a panic (guarded at the facade).
+	_, _, err = weaksim.SimulateAuto(context.Background(), c)
+	if err == nil {
+		t.Fatal("SimulateAuto accepted an invalid circuit")
+	}
+}
+
+// TestSimulateAutoUsesVectorTierWhenItFits: small circuits stay on the
+// dense backend and the dense-backed State still samples correctly.
+func TestSimulateAutoUsesVectorTierWhenItFits(t *testing.T) {
+	c := weaksim.NewCircuit(2, "bell")
+	c.H(0).CX(0, 1)
+	state, report, err := weaksim.SimulateAuto(context.Background(), c, weaksim.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Backend != "vector" {
+		t.Errorf("backend = %q, want vector", report.Backend)
+	}
+	if len(report.Fallbacks) != 0 {
+		t.Errorf("unexpected fallbacks: %v", report.Fallbacks)
+	}
+	if report.Fidelity != 1 {
+		t.Errorf("exact run fidelity = %v", report.Fidelity)
+	}
+	sampler, err := state.Sampler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := sampler.Counts(2000)
+	if counts["01"]+counts["10"] != 0 {
+		t.Errorf("bell state produced odd-parity outcomes: %v", counts)
+	}
+	if counts["00"] == 0 || counts["11"] == 0 {
+		t.Errorf("bell state missing an even-parity outcome: %v", counts)
+	}
+}
+
+// TestSimulateAutoDegradesToDD is the acceptance check: a benchmark beyond
+// the default 26-qubit vector budget must fall back to the DD backend, with
+// the degradation recorded in the report.
+func TestSimulateAutoDegradesToDD(t *testing.T) {
+	c, err := weaksim.GenerateBenchmark("qft_32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, report, err := weaksim.SimulateAuto(context.Background(), c, weaksim.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Backend != "dd" {
+		t.Errorf("backend = %q, want dd", report.Backend)
+	}
+	if len(report.Fallbacks) == 0 {
+		t.Error("vector→DD fallback not recorded in the report")
+	}
+	if report.Fidelity != 1 {
+		t.Errorf("exact DD run fidelity = %v", report.Fidelity)
+	}
+	if report.PeakNodes == 0 {
+		t.Error("DD run recorded no peak node count")
+	}
+	sampler, err := state.Sampler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sampler.Shot(); len(got) != 32 {
+		t.Errorf("sample has %d bits, want 32", len(got))
+	}
+}
+
+// TestSimulateAutoApproximatesUnderPressure: with a node budget too small
+// for the exact run and a fidelity floor, the planner prunes and completes;
+// the report records the approximations and the cumulative fidelity.
+func TestSimulateAutoApproximatesUnderPressure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("supremacy strong simulation in -short mode")
+	}
+	c, err := weaksim.GenerateBenchmark("supremacy_4x4_10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const floor = 0.2
+	state, report, err := weaksim.SimulateAuto(context.Background(), c,
+		weaksim.WithVectorBudget(10),
+		weaksim.WithNodeBudget(20000),
+		weaksim.WithMinFidelity(floor),
+	)
+	if err != nil {
+		t.Fatalf("planner failed: %v\nreport: %v", err, report)
+	}
+	if report.Backend != "dd" {
+		t.Errorf("backend = %q, want dd", report.Backend)
+	}
+	if report.Approximations == 0 {
+		t.Error("no approximations recorded despite node-budget pressure")
+	}
+	if report.Fidelity < floor || report.Fidelity >= 1 {
+		t.Errorf("fidelity = %v, want in [%v, 1)", report.Fidelity, floor)
+	}
+	if state.NodeCount() > 20000 {
+		t.Errorf("final state has %d nodes, over the %d budget", state.NodeCount(), 20000)
+	}
+	sampler, err := state.Sampler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sampler.Shot(); len(got) != 16 {
+		t.Errorf("sample has %d bits, want 16", len(got))
+	}
+}
+
+// TestSimulateAutoRespectsFidelityFloor: when the floor forbids enough
+// pruning, the planner fails promptly with the typed budget error and a
+// report that explains why.
+func TestSimulateAutoRespectsFidelityFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("supremacy strong simulation in -short mode")
+	}
+	c, err := weaksim.GenerateBenchmark("supremacy_4x4_10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, report, err := weaksim.SimulateAuto(context.Background(), c,
+		weaksim.WithVectorBudget(10),
+		weaksim.WithNodeBudget(20000),
+		weaksim.WithMinFidelity(0.999999),
+	)
+	if !errors.Is(err, weaksim.ErrNodeBudget) {
+		t.Fatalf("err = %v, want ErrNodeBudget", err)
+	}
+	if report == nil {
+		t.Fatal("nil report on failure")
+	}
+	if report.Approximations > 8 {
+		t.Errorf("planner looped %d times before giving up", report.Approximations)
+	}
+}
+
+func TestSimulateContextPreCancelled(t *testing.T) {
+	c, err := weaksim.GenerateBenchmark("qft_16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := weaksim.SimulateContext(ctx, c); !errors.Is(err, context.Canceled) {
+		t.Errorf("SimulateContext: %v, want context.Canceled", err)
+	}
+	if _, _, err := weaksim.SimulateAuto(ctx, c); !errors.Is(err, context.Canceled) {
+		t.Errorf("SimulateAuto: %v, want context.Canceled", err)
+	}
+	if _, _, err := weaksim.RunAuto(ctx, c, 100); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunAuto: %v, want context.Canceled", err)
+	}
+}
+
+func TestRunAutoEndToEnd(t *testing.T) {
+	c := weaksim.NewCircuit(3, "ghz")
+	c.H(0).CX(0, 1).CX(1, 2)
+	counts, report, err := weaksim.RunAuto(context.Background(), c, 4000, weaksim.WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Backend != "vector" {
+		t.Errorf("backend = %q, want vector", report.Backend)
+	}
+	if counts["000"]+counts["111"] != 4000 {
+		t.Errorf("GHZ counts: %v", counts)
+	}
+}
+
+// TestFacadeNeverPanics: malformed input at the facade becomes a returned
+// error, never an escaped panic.
+func TestFacadeNeverPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("facade panicked: %v", r)
+		}
+	}()
+	if _, err := weaksim.Simulate(nil); err == nil {
+		t.Error("Simulate(nil) returned no error")
+	}
+	if _, _, err := weaksim.SimulateAuto(context.Background(), nil); err == nil {
+		t.Error("SimulateAuto(nil) returned no error")
+	}
+	if _, err := weaksim.Run(nil, 10); err == nil {
+		t.Error("Run(nil) returned no error")
+	}
+}

@@ -79,6 +79,19 @@ func (c *Circuit) Validate() error {
 			if len(op.Perm) != 1<<uint(op.PermWidth) {
 				return fmt.Errorf("circuit %q op %d: permutation has %d entries, want %d", c.Name, i, len(op.Perm), 1<<uint(op.PermWidth))
 			}
+			// Reject non-bijective tables up front so both backends fail
+			// identically (the dense backend would otherwise lose norm, the
+			// DD backend would build a non-unitary operator).
+			seen := make([]bool, len(op.Perm))
+			for j, p := range op.Perm {
+				if p >= uint64(len(op.Perm)) {
+					return fmt.Errorf("circuit %q op %d: permutation entry perm[%d]=%d out of range", c.Name, i, j, p)
+				}
+				if seen[p] {
+					return fmt.Errorf("circuit %q op %d: permutation maps two inputs to %d (not a bijection)", c.Name, i, p)
+				}
+				seen[p] = true
+			}
 			for _, ctl := range op.Controls {
 				if ctl.Qubit < op.PermWidth || ctl.Qubit >= c.NQubits {
 					return fmt.Errorf("circuit %q op %d: permutation control %d out of range", c.Name, i, ctl.Qubit)

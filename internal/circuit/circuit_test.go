@@ -33,6 +33,8 @@ func TestValidateCatchesErrors(t *testing.T) {
 		func(c *Circuit) { c.Permutation([]uint64{0, 1}, 1, "p", gate.Pos(0)) },
 		func(c *Circuit) { c.Permutation([]uint64{0, 1, 2}, 2, "p") },
 		func(c *Circuit) { c.Permutation([]uint64{0, 1}, 9, "p") },
+		func(c *Circuit) { c.Permutation([]uint64{0, 7, 1, 2}, 2, "p") }, // entry out of range
+		func(c *Circuit) { c.Permutation([]uint64{0, 0, 1, 2}, 2, "p") }, // not a bijection
 	}
 	for i, build := range cases {
 		c := New(3, "bad")

@@ -26,6 +26,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"weaksim/internal/rng"
@@ -49,6 +50,28 @@ func Counts(s Sampler, r *rng.RNG, shots int) map[uint64]int {
 		counts[s.Sample(r)]++
 	}
 	return counts
+}
+
+// CtxCheckShots is the amortization interval for context checks in the
+// batch sampling loops: the context is consulted once every CtxCheckShots
+// samples, so cancellation latency is bounded by CtxCheckShots shots while
+// the per-sample hot path stays free of synchronization.
+const CtxCheckShots = 512
+
+// CountsContext is Counts with cooperative cancellation, checked every
+// CtxCheckShots shots. On cancellation it returns the partial tallies
+// alongside the context's error, so a timed-out batch still reports the
+// samples it managed to draw.
+func CountsContext(ctx context.Context, s Sampler, r *rng.RNG, shots int) (map[uint64]int, error) {
+	counts := make(map[uint64]int)
+	for i := 0; i < shots; i++ {
+		if i%CtxCheckShots == 0 && ctx.Err() != nil {
+			return counts, fmt.Errorf("core: sampling interrupted after %d/%d shots: %w",
+				i, shots, context.Cause(ctx))
+		}
+		counts[s.Sample(r)]++
+	}
+	return counts, nil
 }
 
 // FormatBits renders a basis-state index as the paper renders measurement

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -442,5 +444,42 @@ func TestCountsTotals(t *testing.T) {
 	}
 	if total != 5000 {
 		t.Errorf("counts total %d, want 5000", total)
+	}
+}
+
+func TestCountsContextCancellation(t *testing.T) {
+	probs := []float64{0.25, 0.25, 0.25, 0.25}
+	s, err := NewPrefixSampler(probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A live context behaves exactly like Counts.
+	counts, err := CountsContext(context.Background(), s, rng.New(9), 3000)
+	if err != nil {
+		t.Fatalf("CountsContext with live ctx: %v", err)
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 3000 {
+		t.Errorf("counts total %d, want 3000", total)
+	}
+
+	// A pre-cancelled context stops within the first check window and
+	// returns the partial tallies alongside the typed error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	partial, err := CountsContext(ctx, s, rng.New(9), 1000000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("CountsContext with cancelled ctx: %v, want context.Canceled", err)
+	}
+	got := 0
+	for _, n := range partial {
+		got += n
+	}
+	if got >= CtxCheckShots {
+		t.Errorf("drew %d shots past a cancelled context (check interval %d)", got, CtxCheckShots)
 	}
 }

@@ -1,0 +1,91 @@
+package dd
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNodeBudget reports that the decision diagrams owned by a Manager have
+// grown past the configured node budget. It is the DD-side analogue of the
+// paper's "MO" (memory out) condition: where a dense state vector fails by
+// exceeding 2^maxQubits amplitudes, a decision diagram fails by node-count
+// explosion (supremacy- and Shor-class states). Callers detect it with
+// errors.Is(err, dd.ErrNodeBudget).
+var ErrNodeBudget = errors.New("dd: decision diagram exceeds node budget (MO)")
+
+// WithNodeBudget bounds the total number of live decision-diagram nodes
+// (vector + matrix) the Manager may hold. 0 (the default) means unlimited.
+//
+// The budget is enforced at node-creation time: when an operation would grow
+// the unique tables past the budget, the operation aborts and surfaces
+// ErrNodeBudget through the nearest Guarded call. Budget pressure also makes
+// ShouldGC report true, so drivers collect garbage before concluding the
+// budget is truly exhausted.
+func WithNodeBudget(n int) Option { return func(m *Manager) { m.nodeBudget = n } }
+
+// NodeBudget returns the configured node budget (0 = unlimited).
+func (m *Manager) NodeBudget() int { return m.nodeBudget }
+
+// SetNodeBudget replaces the node budget at runtime (0 = unlimited).
+// Degradation planners use this to suspend the budget while rebuilding an
+// approximated (pruned) state that will shrink the table once the old state
+// is collected.
+func (m *Manager) SetNodeBudget(n int) { m.nodeBudget = n }
+
+// LiveNodes returns the current number of live nodes across both unique
+// tables. This is the quantity the node budget bounds.
+func (m *Manager) LiveNodes() int { return len(m.vUnique) + len(m.mUnique) }
+
+// PeakNodes returns the high-water mark of LiveNodes over the Manager's
+// lifetime — the "memory" column of the paper's Table I for the DD backend.
+func (m *Manager) PeakNodes() int { return m.peakNodes }
+
+// CheckNodeBudget returns ErrNodeBudget (wrapped with the current counts)
+// when the live node count exceeds the budget, and nil otherwise. Drivers
+// call it after a garbage collection to decide whether budget pressure is
+// transient garbage or genuine state growth.
+func (m *Manager) CheckNodeBudget() error {
+	if m.nodeBudget > 0 && m.LiveNodes() > m.nodeBudget {
+		return fmt.Errorf("%w: %d live nodes, budget %d", ErrNodeBudget, m.LiveNodes(), m.nodeBudget)
+	}
+	return nil
+}
+
+// budgetAbort is the internal panic payload used to unwind deep DD
+// recursions (Mul, Add, GateDD, PermutationDD rebuild the diagram node by
+// node) when the node budget is exceeded. It never escapes the package:
+// Guarded converts it into ErrNodeBudget.
+type budgetAbort struct{ live, budget int }
+
+// noteGrowth records the table high-water mark and aborts the in-flight
+// operation when a configured node budget is exceeded. It is called on the
+// unique-table miss path only, so the per-node cost is two map length reads
+// on an already-allocating path.
+func (m *Manager) noteGrowth() {
+	live := len(m.vUnique) + len(m.mUnique)
+	if live > m.peakNodes {
+		m.peakNodes = live
+	}
+	if m.nodeBudget > 0 && live > m.nodeBudget {
+		panic(budgetAbort{live: live, budget: m.nodeBudget})
+	}
+}
+
+// Guarded runs f and converts a node-budget abort raised inside it into a
+// returned ErrNodeBudget. All other panics propagate unchanged. Drivers wrap
+// each growth point (operator construction, matrix-vector products) in
+// Guarded; on ErrNodeBudget the diagram state visible to the caller is
+// unchanged — partially built product nodes remain in the unique tables as
+// garbage until the next GC, but no caller-held edge is invalidated.
+func (m *Manager) Guarded(f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if a, ok := r.(budgetAbort); ok {
+				err = fmt.Errorf("%w: %d live nodes, budget %d", ErrNodeBudget, a.live, a.budget)
+				return
+			}
+			panic(r)
+		}
+	}()
+	return f()
+}

@@ -1,0 +1,115 @@
+package dd
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestNodeBudgetUnlimitedByDefault(t *testing.T) {
+	m := New(4)
+	if m.NodeBudget() != 0 {
+		t.Errorf("default budget = %d, want 0 (unlimited)", m.NodeBudget())
+	}
+	if err := m.CheckNodeBudget(); err != nil {
+		t.Errorf("unlimited manager reported budget error: %v", err)
+	}
+	// Build a moderately large state: no error, but the peak is tracked.
+	r := rand.New(rand.NewPCG(1, 2))
+	st, err := m.FromVector(randomState(r, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m.Mul(m.GateDD(GateMatrix(hMatrix), 0), st)
+	if m.PeakNodes() == 0 {
+		t.Error("peak node count not tracked")
+	}
+	if m.LiveNodes() == 0 {
+		t.Error("live node count is zero after building a state")
+	}
+}
+
+func TestGuardedSurfacesErrNodeBudget(t *testing.T) {
+	m := New(6, WithNodeBudget(3))
+	r := rand.New(rand.NewPCG(3, 4))
+	err := m.Guarded(func() error {
+		st, err := m.FromVector(randomState(r, 6))
+		if err != nil {
+			return err
+		}
+		_ = st
+		return nil
+	})
+	if !errors.Is(err, ErrNodeBudget) {
+		t.Fatalf("expected ErrNodeBudget, got %v", err)
+	}
+	// The error message should carry the live/budget numbers for the MO cell.
+	if err.Error() == ErrNodeBudget.Error() {
+		t.Errorf("budget error lacks live/budget detail: %q", err)
+	}
+	// The manager stays usable after an abort: lift the budget and retry.
+	m.SetNodeBudget(0)
+	if err := m.Guarded(func() error {
+		_, err := m.FromVector(randomState(r, 6))
+		return err
+	}); err != nil {
+		t.Fatalf("manager unusable after budget abort: %v", err)
+	}
+}
+
+func TestGuardedPassesThroughOrdinaryErrors(t *testing.T) {
+	m := New(2, WithNodeBudget(1000))
+	sentinel := errors.New("boom")
+	if err := m.Guarded(func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Errorf("Guarded altered an ordinary error: %v", err)
+	}
+	if err := m.Guarded(func() error { return nil }); err != nil {
+		t.Errorf("Guarded invented an error: %v", err)
+	}
+}
+
+func TestGuardedRethrowsForeignPanics(t *testing.T) {
+	m := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Guarded swallowed a non-budget panic")
+		}
+	}()
+	_ = m.Guarded(func() error { panic("unrelated") })
+}
+
+func TestCheckNodeBudgetOverLimit(t *testing.T) {
+	m := New(5)
+	r := rand.New(rand.NewPCG(5, 6))
+	if _, err := m.FromVector(randomState(r, 5)); err != nil {
+		t.Fatal(err)
+	}
+	live := m.LiveNodes()
+	m.SetNodeBudget(live - 1)
+	if err := m.CheckNodeBudget(); !errors.Is(err, ErrNodeBudget) {
+		t.Errorf("over-budget manager: CheckNodeBudget = %v, want ErrNodeBudget", err)
+	}
+	if !m.ShouldGC() {
+		t.Error("over-budget manager should demand GC")
+	}
+	m.SetNodeBudget(live + 1)
+	if err := m.CheckNodeBudget(); err != nil {
+		t.Errorf("under-budget manager: CheckNodeBudget = %v", err)
+	}
+}
+
+func TestPeakNodesSurvivesGC(t *testing.T) {
+	m := New(5, WithNodeBudget(0))
+	r := rand.New(rand.NewPCG(7, 8))
+	if _, err := m.FromVector(randomState(r, 5)); err != nil {
+		t.Fatal(err)
+	}
+	peak := m.PeakNodes()
+	m.GC(nil, nil) // keep nothing: all nodes are garbage
+	if m.LiveNodes() != 0 {
+		t.Errorf("GC with no roots left %d live nodes", m.LiveNodes())
+	}
+	if m.PeakNodes() != peak {
+		t.Errorf("peak dropped across GC: %d → %d", peak, m.PeakNodes())
+	}
+}

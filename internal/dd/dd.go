@@ -122,6 +122,8 @@ type Manager struct {
 	cacheSize int
 
 	gcThreshold int
+	nodeBudget  int // 0 = unlimited; see WithNodeBudget
+	peakNodes   int
 	gen         uint32
 
 	// counters for instrumentation
@@ -197,6 +199,7 @@ func (m *Manager) Lookup(c cnum.Complex) cnum.Complex { return m.ctab.Lookup(c) 
 // Stats reports the current table and cache occupancy.
 type Stats struct {
 	VNodes, MNodes       int
+	PeakNodes            int
 	MulEntries           int
 	AddEntries           int
 	VHits, VMisses       uint64
@@ -213,6 +216,7 @@ func (m *Manager) TableStats() Stats {
 	ch, cm := m.ctab.Stats()
 	return Stats{
 		VNodes: len(m.vUnique), MNodes: len(m.mUnique),
+		PeakNodes:  m.peakNodes,
 		MulEntries: len(m.mulCache), AddEntries: len(m.addCache),
 		VHits: m.vHits, VMisses: m.vMisses,
 		MHits: m.mHits, MMisses: m.mMisses,

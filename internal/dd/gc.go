@@ -1,10 +1,16 @@
 package dd
 
 // ShouldGC reports whether the unique tables have grown past the configured
-// threshold. Simulation drivers call this between gate applications and run
-// GC with their live roots when it returns true.
+// threshold — or past the node budget, when one is set, so that drivers
+// collect garbage before a budget overrun is declared genuine. Simulation
+// drivers call this between gate applications and run GC with their live
+// roots when it returns true.
 func (m *Manager) ShouldGC() bool {
-	return len(m.vUnique)+len(m.mUnique) > m.gcThreshold
+	live := len(m.vUnique) + len(m.mUnique)
+	if m.nodeBudget > 0 && live > m.nodeBudget {
+		return true
+	}
+	return live > m.gcThreshold
 }
 
 // GC removes all nodes not reachable from the given roots from the unique

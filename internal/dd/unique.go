@@ -53,6 +53,7 @@ func (m *Manager) makeVNode(v int, e0, e1 VEdge) VEdge {
 		m.vMisses++
 		n = &VNode{V: v, E: [2]VEdge{e0, e1}}
 		m.vUnique[key] = n
+		m.noteGrowth()
 	}
 	return VEdge{W: m.ctab.Lookup(f), N: n}
 }
@@ -136,6 +137,7 @@ func (m *Manager) makeMNode(v int, e [4]MEdge) MEdge {
 			e[0].W == cnum.One && e[3].W == cnum.One &&
 			e[0].N == e[3].N && (e[0].N == nil || e[0].N.ident)
 		m.mUnique[key] = n
+		m.noteGrowth()
 	}
 	return MEdge{W: m.ctab.Lookup(f), N: n}
 }

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"weaksim/internal/algo"
+	"weaksim/internal/circuit"
+	"weaksim/internal/dd"
+	"weaksim/internal/gate"
+)
+
+// TestSupremacyUnderTinyNodeBudget is the acceptance check from the paper's
+// MO story: a supremacy circuit under a node budget far below its ~62k-node
+// final state must fail with the typed ErrNodeBudget — not a panic, not
+// unbounded growth.
+func TestSupremacyUnderTinyNodeBudget(t *testing.T) {
+	c, err := algo.Generate("supremacy_4x4_10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewDD(c, WithManagerOptions(dd.WithNodeBudget(500)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Run()
+	if !errors.Is(err, dd.ErrNodeBudget) {
+		t.Fatalf("supremacy under 500-node budget: err = %v, want ErrNodeBudget", err)
+	}
+	if s.Manager().PeakNodes() == 0 {
+		t.Error("peak node count not recorded on the failed run")
+	}
+}
+
+// TestBudgetGCRetry: a budget generous enough for the final state but tight
+// against intermediate garbage must succeed — the simulator GCs and retries
+// before surfacing MO.
+func TestBudgetGCRetry(t *testing.T) {
+	c, err := algo.Generate("qft_12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unbudgeted baseline establishes the final-state node count.
+	free, _ := NewDD(c)
+	st, err := free.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := free.Manager().NodeCount(st)
+
+	s, err := NewDD(c, WithManagerOptions(dd.WithNodeBudget(4*final+64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := s.Run()
+	if err != nil {
+		t.Fatalf("budgeted run failed despite GC headroom: %v", err)
+	}
+	if got := s.Manager().NodeCount(st2); got != final {
+		t.Errorf("budgeted run final state has %d nodes, unbudgeted %d", got, final)
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	c, err := algo.Generate("qft_16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	s, _ := NewDD(c)
+	if _, err := s.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("DD RunContext with cancelled ctx: %v, want context.Canceled", err)
+	}
+	if s.Pos() >= CtxCheckOps {
+		t.Errorf("DD simulator advanced %d ops past a cancelled context (check interval %d)",
+			s.Pos(), CtxCheckOps)
+	}
+
+	v, _ := NewVector(c, 0)
+	if _, err := v.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("vector RunContext with cancelled ctx: %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	// grover_16 takes seconds; a microsecond deadline must stop it quickly
+	// with DeadlineExceeded.
+	c, err := algo.Generate("grover_16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	s, _ := NewDD(c)
+	start := time.Now()
+	_, err = s.RunContext(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunContext past deadline: %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Errorf("cancellation took %v — amortized check not working", d)
+	}
+}
+
+// TestStepDoesNotAdvancePastFailure: a failing op must leave pos pointing at
+// the failed op so a caller can prune and resume exactly there.
+func TestStepDoesNotAdvancePastFailure(t *testing.T) {
+	c := circuit.New(4, "stepfail")
+	c.H(0).H(1).H(2).H(3)
+	c.Apply(gate.TGate, 0, gate.Pos(1))
+	// Enough budget for the |0000⟩ chain, far too little for any gate DD.
+	s, err := NewDD(c, WithManagerOptions(dd.WithNodeBudget(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failedAt int
+	for {
+		pos := s.Pos()
+		if err := s.Step(); err != nil {
+			if !errors.Is(err, dd.ErrNodeBudget) {
+				t.Fatalf("unexpected step error: %v", err)
+			}
+			failedAt = pos
+			break
+		}
+		if s.Pos() != pos+1 {
+			t.Fatalf("successful Step advanced pos %d → %d", pos, s.Pos())
+		}
+	}
+	if s.Pos() != failedAt {
+		t.Errorf("failed Step advanced pos to %d, want %d (the failing op)", s.Pos(), failedAt)
+	}
+	// Lifting the budget lets the run resume from the failed op and finish.
+	s.Manager().SetNodeBudget(0)
+	if _, err := s.Run(); err != nil {
+		t.Fatalf("resume after lifting budget: %v", err)
+	}
+	if s.Pos() != c.NumOps() {
+		t.Errorf("resumed run stopped at op %d of %d", s.Pos(), c.NumOps())
+	}
+}
+
+// TestRandomCircuitsBudgetedNeverPanic is the robustness property from the
+// issue: random circuits through both backends under tight budgets either
+// agree (when both complete) or fail with a typed resource error — never a
+// panic, never a silent wrong answer.
+func TestRandomCircuitsBudgetedNeverPanic(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	f := func(seed uint64, nq, nops, budget uint8) bool {
+		n := 2 + int(nq%5)               // 2..6 qubits
+		ops := 5 + int(nops%40)          // 5..44 ops
+		nodeBudget := 2 + int(budget%30) // 2..31 nodes: often too tight
+		c := randomCircuit(seed, n, ops)
+
+		ddSim, derr := NewDD(c, WithManagerOptions(dd.WithNodeBudget(nodeBudget)))
+		if derr != nil {
+			// A budget below the qubit count can already fail at the
+			// initial state; that must still be the typed error.
+			return errors.Is(derr, dd.ErrNodeBudget)
+		}
+		var st dd.VEdge
+		st, derr = ddSim.Run()
+		if derr != nil && !errors.Is(derr, dd.ErrNodeBudget) {
+			t.Logf("seed=%d: DD failed with non-budget error: %v", seed, derr)
+			return false
+		}
+
+		vecSim, err := NewVector(c, 0)
+		if err != nil {
+			return false
+		}
+		dense, verr := vecSim.Run()
+		if verr != nil {
+			t.Logf("seed=%d: vector backend failed: %v", seed, verr)
+			return false
+		}
+		if derr != nil {
+			return true // typed budget failure is an acceptable outcome
+		}
+		got, err := ddSim.Manager().ToVector(st)
+		if err != nil {
+			return false
+		}
+		for i, want := range dense.Amplitudes() {
+			if !got[i].ApproxEq(want, 1e-7) {
+				t.Logf("seed=%d n=%d ops=%d budget=%d: amplitude %d: %v vs %v",
+					seed, n, ops, nodeBudget, i, got[i], want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

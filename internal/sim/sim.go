@@ -7,6 +7,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -15,6 +17,18 @@ import (
 	"weaksim/internal/gate"
 	"weaksim/internal/statevec"
 )
+
+// CtxCheckOps is the amortization interval for context cancellation checks
+// in the Run loops: the context is consulted at most once every CtxCheckOps
+// operations (and at least once per fused window), so the no-context hot
+// path stays flat while a cancelled or expired context stops the run within
+// CtxCheckOps operations.
+const CtxCheckOps = 32
+
+// interrupted wraps a context error with position information.
+func interrupted(ctx context.Context, name string, pos int) error {
+	return fmt.Errorf("sim: circuit %q interrupted at op %d: %w", name, pos, context.Cause(ctx))
+}
 
 // DDSimulator advances a circuit on the decision-diagram backend.
 type DDSimulator struct {
@@ -78,10 +92,20 @@ func NewDD(c *circuit.Circuit, opts ...DDOption) (*DDSimulator, error) {
 		o(&cfg)
 	}
 	mgr := dd.New(c.NQubits, cfg.mgrOpts...)
+	// Even the |0...0⟩ chain costs one node per qubit, so an absurdly small
+	// node budget can already fail here; surface that as ErrNodeBudget
+	// rather than letting the budget abort escape as a panic.
+	var zero dd.VEdge
+	if err := mgr.Guarded(func() error {
+		zero = mgr.ZeroState()
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("sim: circuit %q initial state: %w", c.Name, err)
+	}
 	return &DDSimulator{
 		mgr:        mgr,
 		circ:       c,
-		state:      mgr.ZeroState(),
+		state:      zero,
 		opCache:    make(map[string]dd.MEdge),
 		fusion:     cfg.fusion,
 		trace:      cfg.trace,
@@ -95,6 +119,20 @@ func (s *DDSimulator) Manager() *dd.Manager { return s.mgr }
 // State returns the current state DD.
 func (s *DDSimulator) State() dd.VEdge { return s.state }
 
+// SetState replaces the current state DD. Degradation planners use it to
+// install a pruned (core.Approximate) state after a dd.ErrNodeBudget failure
+// and resume the run from the not-yet-applied operation.
+func (s *DDSimulator) SetState(e dd.VEdge) { s.state = e }
+
+// Pos returns the index of the next operation to apply.
+func (s *DDSimulator) Pos() int { return s.pos }
+
+// Collect forces a garbage collection keeping the current state and all
+// cached operator DDs alive. Exposed for degradation planners that shrink
+// the state mid-run and want the freed nodes accounted against the budget
+// immediately.
+func (s *DDSimulator) Collect() { s.collect() }
+
 // AppliedOps returns the number of operations applied so far.
 func (s *DDSimulator) AppliedOps() int { return s.applied }
 
@@ -103,10 +141,23 @@ func (s *DDSimulator) GCSweeps() int { return s.gcSweeps }
 
 // Run applies all remaining operations and returns the final state DD.
 func (s *DDSimulator) Run() (dd.VEdge, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// every CtxCheckOps operations (every fused window under fusion), so a
+// cancelled or expired context stops the simulation promptly without adding
+// per-gate overhead. A context error leaves the simulator in a coherent
+// state — the failing position is not consumed, so the run can be resumed
+// with a fresh context.
+func (s *DDSimulator) RunContext(ctx context.Context) (dd.VEdge, error) {
 	if s.fusion > 1 || s.fusion == FuseAtBarriers {
-		return s.runFused()
+		return s.runFused(ctx)
 	}
-	for s.pos < len(s.circ.Ops) {
+	for i := 0; s.pos < len(s.circ.Ops); i++ {
+		if i%CtxCheckOps == 0 && ctx.Err() != nil {
+			return dd.VEdge{}, interrupted(ctx, s.circ.Name, s.pos)
+		}
 		if err := s.Step(); err != nil {
 			return dd.VEdge{}, err
 		}
@@ -117,8 +168,11 @@ func (s *DDSimulator) Run() (dd.VEdge, error) {
 // runFused applies the circuit window by window, composing each window of
 // operations into one operator DD and memoizing composed windows by the
 // identity of their operations.
-func (s *DDSimulator) runFused() (dd.VEdge, error) {
+func (s *DDSimulator) runFused(ctx context.Context) (dd.VEdge, error) {
 	for s.pos < len(s.circ.Ops) {
+		if ctx.Err() != nil {
+			return dd.VEdge{}, interrupted(ctx, s.circ.Name, s.pos)
+		}
 		var end int
 		if s.fusion == FuseAtBarriers {
 			end = s.pos
@@ -143,28 +197,34 @@ func (s *DDSimulator) runFused() (dd.VEdge, error) {
 			key.WriteString(opKey(op))
 			key.WriteByte('|')
 		}
-		composed, ok := s.opCache[key.String()]
-		if !ok {
-			composed = s.mgr.IdentityDD()
-			built := false
-			for _, op := range window {
-				if op.Kind == circuit.BarrierOp {
-					continue
+		applyWindow := func() error {
+			composed, ok := s.opCache[key.String()]
+			if !ok {
+				composed = s.mgr.IdentityDD()
+				built := false
+				for _, op := range window {
+					if op.Kind == circuit.BarrierOp {
+						continue
+					}
+					opDD, err := s.operatorDD(op)
+					if err != nil {
+						return err
+					}
+					if !built {
+						composed = opDD
+						built = true
+					} else {
+						composed = s.mgr.MulMM(opDD, composed)
+					}
 				}
-				opDD, err := s.operatorDD(op)
-				if err != nil {
-					return dd.VEdge{}, err
-				}
-				if !built {
-					composed = opDD
-					built = true
-				} else {
-					composed = s.mgr.MulMM(opDD, composed)
-				}
+				s.opCache[key.String()] = composed
 			}
-			s.opCache[key.String()] = composed
+			s.state = s.mgr.Mul(composed, s.state)
+			return nil
 		}
-		s.state = s.mgr.Mul(composed, s.state)
+		if err := s.guardedApply(applyWindow); err != nil {
+			return dd.VEdge{}, err
+		}
 		for _, op := range window {
 			if op.Kind != circuit.BarrierOp {
 				s.applied++
@@ -178,22 +238,67 @@ func (s *DDSimulator) runFused() (dd.VEdge, error) {
 	return s.state, nil
 }
 
+// guardedApply runs apply under the Manager's node-budget guard, escalating
+// through two relief steps before surfacing dd.ErrNodeBudget:
+//
+//  1. collect garbage, keeping the state and the operator cache alive;
+//  2. drop the operator cache entirely — it is only a cache, recomputable —
+//     and collect again keeping nothing but the state.
+//
+// Only a third overrun, with every reclaimable node gone, is genuine live
+// growth and reported as MO. The simulator's state edge is untouched by a
+// failed attempt, so callers may prune the state (core.Approximate) and
+// resume.
+func (s *DDSimulator) guardedApply(apply func() error) error {
+	err := s.mgr.Guarded(apply)
+	if errors.Is(err, dd.ErrNodeBudget) {
+		s.collect()
+		err = s.mgr.Guarded(apply)
+	}
+	if errors.Is(err, dd.ErrNodeBudget) {
+		s.dropOpCache()
+		err = s.mgr.Guarded(apply)
+	}
+	return err
+}
+
+// dropOpCache discards every cached operator DD and sweeps, keeping only
+// the state alive. Subsequent operations rebuild their DDs on demand —
+// slower, but it trades speed for fitting the node budget.
+func (s *DDSimulator) dropOpCache() {
+	clear(s.opCache)
+	s.roots = s.roots[:0]
+	s.mgr.GC([]dd.VEdge{s.state}, nil)
+	s.gcSweeps++
+}
+
 // Step applies the next operation. It returns an error when the circuit is
-// exhausted or an operation cannot be translated.
+// exhausted, an operation cannot be translated, or the node budget is
+// exhausted. On failure the position is NOT advanced past the failing
+// operation, so retry/resume semantics stay coherent: a caller that clears
+// the failure condition (e.g. by pruning the state under budget pressure)
+// can call Step again and re-attempt the same operation.
 func (s *DDSimulator) Step() error {
 	if s.pos >= len(s.circ.Ops) {
 		return fmt.Errorf("sim: circuit %q exhausted", s.circ.Name)
 	}
 	op := s.circ.Ops[s.pos]
-	s.pos++
 	if op.Kind == circuit.BarrierOp {
+		s.pos++
 		return nil
 	}
-	opDD, err := s.operatorDD(op)
+	err := s.guardedApply(func() error {
+		opDD, err := s.operatorDD(op)
+		if err != nil {
+			return err
+		}
+		s.state = s.mgr.Mul(opDD, s.state)
+		return nil
+	})
 	if err != nil {
-		return err
+		return fmt.Errorf("sim: circuit %q op %d: %w", s.circ.Name, s.pos, err)
 	}
-	s.state = s.mgr.Mul(opDD, s.state)
+	s.pos++
 	s.applied++
 	if s.trace != nil && s.traceEvery > 0 && s.applied%s.traceEvery == 0 {
 		s.trace(s.applied, s.mgr.TableStats())
@@ -298,17 +403,36 @@ func (s *VectorSimulator) State() *statevec.State { return s.st }
 
 // Run applies all remaining operations and returns the final dense state.
 func (s *VectorSimulator) Run() (*statevec.State, error) {
-	for ; s.pos < len(s.circ.Ops); s.pos++ {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation, checked before every
+// operation. Invalid operations (out-of-range targets or controls,
+// malformed permutations) surface as wrapped statevec.ErrInvalidOp errors
+// rather than panics; on any failure the position is not advanced past the
+// failing operation.
+func (s *VectorSimulator) RunContext(ctx context.Context) (*statevec.State, error) {
+	for s.pos < len(s.circ.Ops) {
+		// Dense gates are O(2^n) apiece, so an every-op check is free
+		// relative to the work between checks.
+		if ctx.Err() != nil {
+			return nil, interrupted(ctx, s.circ.Name, s.pos)
+		}
 		op := s.circ.Ops[s.pos]
+		var err error
 		switch op.Kind {
 		case circuit.BarrierOp:
 		case circuit.GateOp:
-			s.st.ApplyGate(op.Gate.Matrix(), op.Target, op.Controls...)
+			err = s.st.ApplyGate(op.Gate.Matrix(), op.Target, op.Controls...)
 		case circuit.PermutationOp:
-			s.st.ApplyPermutation(op.Perm, op.PermWidth, op.Controls...)
+			err = s.st.ApplyPermutation(op.Perm, op.PermWidth, op.Controls...)
 		default:
-			return nil, fmt.Errorf("sim: cannot apply op kind %d", int(op.Kind))
+			err = fmt.Errorf("sim: cannot apply op kind %d", int(op.Kind))
 		}
+		if err != nil {
+			return nil, fmt.Errorf("sim: circuit %q op %d: %w", s.circ.Name, s.pos, err)
+		}
+		s.pos++
 	}
 	return s.st, nil
 }

@@ -22,6 +22,13 @@ import (
 // configured memory budget — the "MO" entries of the paper's Table I.
 var ErrMemoryOut = errors.New("statevec: state vector exceeds memory budget (MO)")
 
+// ErrInvalidOp reports an operation whose indices or structure are
+// malformed: target or control out of range, control equal to target,
+// permutation size mismatch, or a permutation table that is not a bijection.
+// Apply methods return it (wrapped with detail) instead of panicking, so
+// simulation drivers can surface bad circuits as ordinary errors.
+var ErrInvalidOp = errors.New("statevec: invalid operation")
+
 // DefaultMaxQubits is the default budget: 2^26 amplitudes occupy 1 GiB,
 // comfortably inside this machine's memory while still exhibiting the
 // vector-based blow-up the paper reports.
@@ -94,17 +101,18 @@ func controlMask(controls []gate.Control) (mask, want uint64) {
 }
 
 // ApplyGate applies the controlled single-qubit gate u to the target qubit
-// in place. Time O(2^n).
-func (s *State) ApplyGate(u [2][2]cnum.Complex, target int, controls ...gate.Control) {
+// in place. Time O(2^n). Malformed indices return a wrapped ErrInvalidOp and
+// leave the state untouched.
+func (s *State) ApplyGate(u [2][2]cnum.Complex, target int, controls ...gate.Control) error {
 	if target < 0 || target >= s.n {
-		panic("statevec: target out of range")
+		return fmt.Errorf("%w: target %d out of range [0,%d)", ErrInvalidOp, target, s.n)
 	}
 	for _, c := range controls {
 		if c.Qubit == target {
-			panic("statevec: control qubit equals target")
+			return fmt.Errorf("%w: control qubit %d equals target", ErrInvalidOp, c.Qubit)
 		}
 		if c.Qubit < 0 || c.Qubit >= s.n {
-			panic("statevec: control qubit out of range")
+			return fmt.Errorf("%w: control qubit %d out of range [0,%d)", ErrInvalidOp, c.Qubit, s.n)
 		}
 	}
 	mask, want := controlMask(controls)
@@ -120,20 +128,27 @@ func (s *State) ApplyGate(u [2][2]cnum.Complex, target int, controls ...gate.Con
 		s.amps[i] = u[0][0].Mul(a0).Add(u[0][1].Mul(a1))
 		s.amps[j] = u[1][0].Mul(a0).Add(u[1][1].Mul(a1))
 	}
+	return nil
 }
 
 // ApplyPermutation applies |j⟩ -> |perm[j]⟩ on the lowest width qubits,
-// conditioned on the controls (which must lie at or above width).
-func (s *State) ApplyPermutation(perm []uint64, width int, controls ...gate.Control) {
+// conditioned on the controls (which must lie at or above width). Malformed
+// permutations (wrong size, out-of-range entries, non-bijective tables,
+// controls below width) return a wrapped ErrInvalidOp and leave the state
+// untouched.
+func (s *State) ApplyPermutation(perm []uint64, width int, controls ...gate.Control) error {
 	if width < 1 || width > s.n {
-		panic("statevec: permutation width out of range")
+		return fmt.Errorf("%w: permutation width %d out of range [1,%d]", ErrInvalidOp, width, s.n)
 	}
 	if len(perm) != 1<<uint(width) {
-		panic("statevec: permutation size mismatch")
+		return fmt.Errorf("%w: permutation has %d entries, want %d", ErrInvalidOp, len(perm), 1<<uint(width))
+	}
+	if err := CheckPermutation(perm); err != nil {
+		return err
 	}
 	for _, c := range controls {
 		if c.Qubit < width || c.Qubit >= s.n {
-			panic("statevec: permutation control out of range")
+			return fmt.Errorf("%w: permutation control %d out of range [%d,%d)", ErrInvalidOp, c.Qubit, width, s.n)
 		}
 	}
 	mask, want := controlMask(controls)
@@ -147,6 +162,25 @@ func (s *State) ApplyPermutation(perm []uint64, width int, controls ...gate.Cont
 		out[dst] = s.amps[i]
 	}
 	s.amps = out
+	return nil
+}
+
+// CheckPermutation verifies that perm is a bijection on [0, len(perm)): all
+// entries in range and no entry repeated. It returns a wrapped ErrInvalidOp
+// otherwise. circuit.Validate applies the same check, so both backends
+// reject malformed permutations identically.
+func CheckPermutation(perm []uint64) error {
+	seen := make([]bool, len(perm))
+	for j, p := range perm {
+		if p >= uint64(len(perm)) {
+			return fmt.Errorf("%w: permutation entry perm[%d]=%d out of range [0,%d)", ErrInvalidOp, j, p, len(perm))
+		}
+		if seen[p] {
+			return fmt.Errorf("%w: permutation maps two inputs to %d (not a bijection)", ErrInvalidOp, p)
+		}
+		seen[p] = true
+	}
+	return nil
 }
 
 // Norm2 returns the squared Euclidean norm; a valid state has Norm2 == 1 up

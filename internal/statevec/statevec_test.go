@@ -93,21 +93,22 @@ func TestApplyPermutation(t *testing.T) {
 	}
 }
 
-func TestApplyPermutationPanics(t *testing.T) {
+func TestApplyPermutationErrors(t *testing.T) {
 	s, _ := New(2, 0)
-	for _, fn := range []func(){
-		func() { s.ApplyPermutation([]uint64{0, 1}, 3) },
-		func() { s.ApplyPermutation([]uint64{0, 1, 2}, 2) },
-		func() { s.ApplyPermutation([]uint64{0, 1}, 1, gate.Pos(0)) },
+	for i, fn := range []func() error{
+		func() error { return s.ApplyPermutation([]uint64{0, 1}, 3) },              // width > n
+		func() error { return s.ApplyPermutation([]uint64{0, 1, 2}, 2) },           // size mismatch
+		func() error { return s.ApplyPermutation([]uint64{0, 1}, 1, gate.Pos(0)) }, // control below width
+		func() error { return s.ApplyPermutation([]uint64{0, 7, 1, 2}, 2) },        // entry out of range
+		func() error { return s.ApplyPermutation([]uint64{0, 0, 1, 2}, 2) },        // not a bijection
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			fn()
-		}()
+		if err := fn(); !errors.Is(err, ErrInvalidOp) {
+			t.Errorf("case %d: want ErrInvalidOp, got %v", i, err)
+		}
+	}
+	// A failed apply must leave the state untouched.
+	if a := s.Amplitude(0); !a.ApproxEq(cnum.One, 0) {
+		t.Errorf("state mutated by failed permutation: %v", a)
 	}
 }
 
@@ -159,20 +160,18 @@ func TestUnitaryNormPreservationProperty(t *testing.T) {
 	}
 }
 
-func TestApplyGatePanicsOnBadControls(t *testing.T) {
+func TestApplyGateErrorsOnBadControls(t *testing.T) {
 	s, _ := New(2, 0)
-	for i, fn := range []func(){
-		func() { s.ApplyGate(gate.XGate.Matrix(), 0, gate.Pos(0)) },
-		func() { s.ApplyGate(gate.XGate.Matrix(), 0, gate.Pos(7)) },
-		func() { s.ApplyGate(gate.XGate.Matrix(), 9) },
+	for i, fn := range []func() error{
+		func() error { return s.ApplyGate(gate.XGate.Matrix(), 0, gate.Pos(0)) }, // control == target
+		func() error { return s.ApplyGate(gate.XGate.Matrix(), 0, gate.Pos(7)) }, // control out of range
+		func() error { return s.ApplyGate(gate.XGate.Matrix(), 9) },              // target out of range
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("case %d: expected panic", i)
-				}
-			}()
-			fn()
-		}()
+		if err := fn(); !errors.Is(err, ErrInvalidOp) {
+			t.Errorf("case %d: want ErrInvalidOp, got %v", i, err)
+		}
+	}
+	if a := s.Amplitude(0); !a.ApproxEq(cnum.One, 0) {
+		t.Errorf("state mutated by failed gate: %v", a)
 	}
 }

@@ -1,6 +1,7 @@
 package weaksim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -12,7 +13,6 @@ import (
 	"weaksim/internal/dd"
 	"weaksim/internal/gate"
 	"weaksim/internal/rng"
-	"weaksim/internal/sim"
 	"weaksim/internal/statevec"
 )
 
@@ -111,6 +111,8 @@ type config struct {
 	method       Method
 	vectorQubits int
 	forceGeneric bool
+	nodeBudget   int
+	minFidelity  float64
 }
 
 func newConfig(opts []Option) config {
@@ -144,38 +146,69 @@ func WithVectorBudget(qubits int) Option { return func(c *config) { c.vectorQubi
 // the DD sampler even under L2 normalization (ablation).
 func WithGenericTraversal() Option { return func(c *config) { c.forceGeneric = true } }
 
-// State is a strongly-simulated final quantum state in decision-diagram
-// form, ready for repeated weak simulation.
+// WithNodeBudget bounds the decision-diagram engine to n live nodes — the
+// DD-side analogue of WithVectorBudget. Simulations whose diagrams outgrow
+// the budget (supremacy- and Shor-class states) fail with ErrNodeBudget
+// instead of exhausting memory; SimulateAuto can additionally degrade to a
+// fidelity-bounded approximation under WithMinFidelity. 0 (the default)
+// means unlimited.
+func WithNodeBudget(nodes int) Option { return func(c *config) { c.nodeBudget = nodes } }
+
+// WithMinFidelity enables graceful degradation in SimulateAuto: when the DD
+// backend hits its node budget, the in-flight state is pruned
+// (core.Approximate) as long as the cumulative fidelity |⟨approx|exact⟩|²
+// stays at or above floor. The default 0 disables approximation — budget
+// overruns then surface as ErrNodeBudget.
+func WithMinFidelity(floor float64) Option { return func(c *config) { c.minFidelity = floor } }
+
+// State is a strongly-simulated final quantum state, ready for repeated
+// weak simulation. Simulate and SimulateContext always produce
+// decision-diagram-backed states; SimulateAuto may instead produce a
+// dense-vector-backed state when the vector backend wins its tier of the
+// degradation policy. DD-only operations (Approximate, MeasureQubit,
+// TopOutcomes, WriteDOT) return an error on vector-backed states.
 type State struct {
-	mgr  *dd.Manager
-	edge dd.VEdge
-	cfg  config
+	mgr   *dd.Manager
+	edge  dd.VEdge
+	dense *statevec.State // non-nil iff the vector backend produced the state
+	cfg   config
 }
 
 // Simulate strongly simulates the circuit on the decision-diagram backend
-// and returns the final state.
+// and returns the final state. With WithNodeBudget set, simulations whose
+// diagrams outgrow the budget fail with ErrNodeBudget.
 func Simulate(c *Circuit, opts ...Option) (*State, error) {
-	cfg := newConfig(opts)
-	s, err := sim.NewDD(c, sim.WithManagerOptions(dd.WithNormalization(cfg.norm)))
-	if err != nil {
-		return nil, err
-	}
-	edge, err := s.Run()
-	if err != nil {
-		return nil, err
-	}
-	return &State{mgr: s.Manager(), edge: edge, cfg: cfg}, nil
+	return SimulateContext(context.Background(), c, opts...)
 }
 
+// errVectorBacked reports a DD-only operation on a vector-backed state.
+var errVectorBacked = errors.New("weaksim: operation requires a decision-diagram state (this state was produced by SimulateAuto's vector backend; use Simulate to force the DD backend)")
+
 // Qubits returns the number of qubits of the state.
-func (s *State) Qubits() int { return s.mgr.Qubits() }
+func (s *State) Qubits() int {
+	if s.dense != nil {
+		return s.dense.Qubits()
+	}
+	return s.mgr.Qubits()
+}
 
 // NodeCount returns the number of decision-diagram nodes representing the
-// state — the "size" column of the paper's Table I.
-func (s *State) NodeCount() int { return s.mgr.NodeCount(s.edge) }
+// state — the "size" column of the paper's Table I. Vector-backed states
+// have no diagram and report 0.
+func (s *State) NodeCount() int {
+	if s.dense != nil {
+		return 0
+	}
+	return s.mgr.NodeCount(s.edge)
+}
 
 // Norm2 returns the squared norm of the state (1 for a valid state).
-func (s *State) Norm2() float64 { return s.mgr.Norm2(s.edge) }
+func (s *State) Norm2() float64 {
+	if s.dense != nil {
+		return s.dense.Norm2()
+	}
+	return s.mgr.Norm2(s.edge)
+}
 
 // Amplitude returns the amplitude of the basis state written as a bitstring
 // (most significant qubit first, as printed by Sampler.Shot).
@@ -192,6 +225,9 @@ func (s *State) Amplitude(bits string) (complex128, error) {
 func (s *State) AmplitudeAt(idx uint64) (complex128, error) {
 	if s.Qubits() < 64 && idx >= uint64(1)<<uint(s.Qubits()) {
 		return 0, fmt.Errorf("weaksim: basis state %d out of range", idx)
+	}
+	if s.dense != nil {
+		return s.dense.Amplitude(idx).ToComplex128(), nil
 	}
 	return s.mgr.Amplitude(s.edge, idx).ToComplex128(), nil
 }
@@ -222,6 +258,11 @@ func (s *State) Probabilities() ([]float64, error) {
 }
 
 func (s *State) vector() ([]cnum.Complex, error) {
+	if s.dense != nil {
+		// Vector-backed states already paid the dense cost; the budget was
+		// enforced when the backend allocated.
+		return s.dense.Amplitudes(), nil
+	}
 	budget := s.cfg.vectorQubits
 	if budget <= 0 {
 		budget = statevec.DefaultMaxQubits
@@ -240,6 +281,11 @@ func (s *State) Sampler(opts ...Option) (*Sampler, error) {
 	cfg := s.cfg
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.method == MethodDD && s.dense != nil {
+		// Vector-backed states have no diagram to traverse; the prefix
+		// sampler is the natural equivalent (same O(n) per-sample cost).
+		cfg.method = MethodPrefix
 	}
 	var inner core.Sampler
 	switch cfg.method {
@@ -308,10 +354,29 @@ func (s *Sampler) CountsByIndex(shots int) map[uint64]int {
 	return core.Counts(s.inner, s.rand, shots)
 }
 
+// CountsContext is Counts with cooperative cancellation, checked every
+// core.CtxCheckShots samples. On cancellation it returns the partial
+// tallies drawn so far alongside the context's error.
+func (s *Sampler) CountsContext(ctx context.Context, shots int) (map[string]int, error) {
+	idx, err := core.CountsContext(ctx, s.inner, s.rand, shots)
+	counts := make(map[string]int, len(idx))
+	for i, n := range idx {
+		counts[core.FormatBits(i, s.n)] = n
+	}
+	return counts, err
+}
+
+// CountsByIndexContext is CountsByIndex with cooperative cancellation. On
+// cancellation it returns the partial tallies alongside the context's error.
+func (s *Sampler) CountsByIndexContext(ctx context.Context, shots int) (map[uint64]int, error) {
+	return core.CountsContext(ctx, s.inner, s.rand, shots)
+}
+
 // Run is the one-call weak simulation of the paper's Fig. 2: strong
 // simulation on the DD backend followed by shots measurement samples,
 // returned as bitstring counts.
-func Run(c *Circuit, shots int, opts ...Option) (map[string]int, error) {
+func Run(c *Circuit, shots int, opts ...Option) (counts map[string]int, err error) {
+	defer guard(&err)
 	if shots < 1 {
 		return nil, errors.New("weaksim: shots must be positive")
 	}
@@ -366,6 +431,9 @@ func Neg(q int) Control { return gate.Neg(q) }
 // sampling error introduced — weak simulation "with some error" in exchange
 // for a smaller diagram.
 func (s *State) Approximate(threshold float64) (*State, float64, error) {
+	if s.dense != nil {
+		return nil, 0, errVectorBacked
+	}
 	edge, fidelity, err := core.Approximate(s.mgr, s.edge, threshold)
 	if err != nil {
 		return nil, 0, err
@@ -378,6 +446,9 @@ func (s *State) Approximate(threshold float64) (*State, float64, error) {
 // Unlike Sampler (which is read-only and repeatable), this is the operation
 // physical hardware actually offers.
 func (s *State) MeasureQubit(qubit int, seed uint64) (int, *State, error) {
+	if s.dense != nil {
+		return 0, nil, errVectorBacked
+	}
 	bit, post, err := core.MeasureQubit(s.mgr, s.edge, qubit, rng.New(seed))
 	if err != nil {
 		return 0, nil, err
@@ -388,12 +459,28 @@ func (s *State) MeasureQubit(qubit int, seed uint64) (int, *State, error) {
 // QubitProbability returns the probability that measuring the given qubit
 // yields 1.
 func (s *State) QubitProbability(qubit int) (float64, error) {
+	if s.dense != nil {
+		if qubit < 0 || qubit >= s.Qubits() {
+			return 0, fmt.Errorf("weaksim: qubit %d out of range", qubit)
+		}
+		var p float64
+		bit := uint64(1) << uint(qubit)
+		for i, a := range s.dense.Amplitudes() {
+			if uint64(i)&bit != 0 {
+				p += a.Abs2()
+			}
+		}
+		return p, nil
+	}
 	return core.QubitProbability(s.mgr, s.edge, qubit)
 }
 
 // WriteDOT renders the state's decision diagram in Graphviz DOT format
 // (render with `dot -Tsvg`), in the style of the paper's Fig. 4.
 func (s *State) WriteDOT(w io.Writer, title string) error {
+	if s.dense != nil {
+		return errVectorBacked
+	}
 	return s.mgr.WriteDOT(w, s.edge, title)
 }
 
@@ -415,6 +502,9 @@ type Outcome struct {
 // 2^n enumeration, so it works in the regime where the dense distribution
 // cannot be stored.
 func (s *State) TopOutcomes(k int) ([]Outcome, error) {
+	if s.dense != nil {
+		return nil, errVectorBacked
+	}
 	raw, err := core.TopOutcomes(s.mgr, s.edge, k)
 	if err != nil {
 		return nil, err
