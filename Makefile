@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench table clean
+.PHONY: check build vet test race bench bench-json table clean
 
 check: vet build test
 
@@ -28,6 +28,11 @@ bench:
 # Regenerate the Table I rows that fit a laptop.
 table:
 	$(GO) run ./cmd/benchtable
+
+# Machine-readable benchmark snapshot: a quick row set with per-phase
+# timings, peak nodes, and cache hit rates, written to BENCH_<timestamp>.json.
+bench-json:
+	$(GO) run ./cmd/benchtable -rows qft_16,qft_32,shor_33_2,jellium_2x2 -shots 100000 -json-out auto
 
 clean:
 	$(GO) clean ./...

@@ -15,10 +15,12 @@
 //	benchtable -rows all            # every Table I row (hours of CPU)
 //	benchtable -rows qft_16,qft_32  # specific rows
 //	benchtable -shots 1000000       # the paper's sample count (default)
+//	benchtable -json-out auto       # also write BENCH_<timestamp>.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -54,6 +56,49 @@ var fastRows = []string{
 	"supremacy_4x4_10",
 }
 
+// benchRow is the machine-readable form of one Table I row, serialized into
+// the BENCH_<timestamp>.json document written by -json-out. String status
+// fields use "ok", "MO", or "TO" with the same semantics as the printed
+// table.
+type benchRow struct {
+	Name   string `json:"name"`
+	Qubits int    `json:"qubits"`
+	Ops    int    `json:"ops"`
+
+	// Status is the row-level outcome: "ok" when strong simulation
+	// completed, "MO"/"TO" when it was budgeted out (then the per-column
+	// fields are absent), "error" otherwise.
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+
+	SimSeconds float64 `json:"sim_seconds,omitempty"`
+	PeakNodes  int     `json:"peak_nodes,omitempty"`
+	StateNodes int     `json:"state_nodes,omitempty"`
+
+	// VectorStatus / DDStatus are the per-column outcomes ("ok", "MO",
+	// "TO"); the corresponding seconds are set only on "ok".
+	VectorStatus  string  `json:"vector_status,omitempty"`
+	VectorSeconds float64 `json:"vector_seconds,omitempty"`
+	DDStatus      string  `json:"dd_status,omitempty"`
+	DDSeconds     float64 `json:"dd_seconds,omitempty"`
+
+	// HitRates maps cache kind → hit rate in [0,1] after strong
+	// simulation: unique_v, unique_m, cache_mul, cache_add, cnum_intern.
+	HitRates map[string]float64 `json:"hit_rates,omitempty"`
+}
+
+// benchDoc is the top-level BENCH_*.json document.
+type benchDoc struct {
+	GeneratedAt string     `json:"generated_at"`
+	Shots       int        `json:"shots"`
+	Seed        uint64     `json:"seed"`
+	Norm        string     `json:"norm"`
+	VecBudget   int        `json:"vector_budget_qubits"`
+	DDBudget    int        `json:"dd_node_budget,omitempty"`
+	TimeoutNS   int64      `json:"timeout_ns,omitempty"`
+	Rows        []benchRow `json:"rows"`
+}
+
 func run() error {
 	var (
 		rows     = flag.String("rows", "fast", `"fast", "all", or a comma-separated list of Table I rows`)
@@ -63,6 +108,7 @@ func run() error {
 		norm     = flag.String("norm", "l2phase", "DD normalization scheme: left, l2, or l2phase")
 		timeout  = flag.Duration("timeout", 0, "per-row wall-clock bound; rows exceeding it report TO like the paper (0 = none)")
 		ddBudget = flag.Int("dd-node-budget", 0, "max live DD nodes per row; rows exceeding it report MO in the DD columns (0 = unlimited)")
+		jsonOut  = flag.String("json-out", "", `write a machine-readable run summary to this path ("auto" = BENCH_<timestamp>.json)`)
 	)
 	flag.Parse()
 
@@ -94,16 +140,52 @@ func run() error {
 		"benchmark", "qubits", "vec size", "vec t[s]", "DD size", "DD t[s]", "sim t[s]")
 	fmt.Println(strings.Repeat("-", 88))
 
+	doc := benchDoc{
+		GeneratedAt: time.Now().Format(time.RFC3339),
+		Shots:       *shots,
+		Seed:        *seed,
+		Norm:        normScheme.String(),
+		VecBudget:   *budget,
+		DDBudget:    *ddBudget,
+		TimeoutNS:   int64(*timeout),
+	}
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
-		if err := runRow(name, *shots, *seed, *budget, *ddBudget, *timeout, normScheme); err != nil {
+		row, err := runRow(name, *shots, *seed, *budget, *ddBudget, *timeout, normScheme)
+		if err != nil {
 			fmt.Printf("%-18s ERROR: %v\n", name, err)
+			row = benchRow{Name: name, Status: "error", Error: err.Error()}
 		}
+		doc.Rows = append(doc.Rows, row)
+	}
+	if *jsonOut != "" {
+		path := *jsonOut
+		if path == "auto" {
+			path = fmt.Sprintf("BENCH_%s.json", time.Now().Format("20060102T150405"))
+		}
+		if err := writeJSON(path, &doc); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s (%d rows)\n", path, len(doc.Rows))
 	}
 	return nil
+}
+
+func writeJSON(path string, doc *benchDoc) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // cell classifies a resource failure the way the paper's Table I does:
@@ -118,11 +200,31 @@ func cell(err error) (string, bool) {
 	return "", false
 }
 
-func runRow(name string, shots int, seed uint64, budget, ddBudget int, timeout time.Duration, norm dd.Norm) error {
+// hitRates digests the manager's table statistics into the same cache-kind →
+// rate map that weaksim.Telemetry reports.
+func hitRates(st dd.Stats) map[string]float64 {
+	m := map[string]float64{}
+	set := func(kind string, hits, misses uint64) {
+		if total := hits + misses; total > 0 {
+			m[kind] = float64(hits) / float64(total)
+		}
+	}
+	set("unique_v", st.VHits, st.VMisses)
+	set("unique_m", st.MHits, st.MMisses)
+	set("cache_mul", st.MulHits, st.MulMisses)
+	set("cache_add", st.AddHits, st.AddMisses)
+	set("cnum_intern", st.ComplexHits, st.CMisses)
+	return m
+}
+
+func runRow(name string, shots int, seed uint64, budget, ddBudget int, timeout time.Duration, norm dd.Norm) (benchRow, error) {
+	row := benchRow{Name: name}
 	c, err := algo.Generate(name)
 	if err != nil {
-		return err
+		return row, err
 	}
+	row.Qubits = c.NQubits
+	row.Ops = c.NumOps()
 	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -137,7 +239,7 @@ func runRow(name string, shots int, seed uint64, budget, ddBudget int, timeout t
 	simStart := time.Now()
 	s, err := sim.NewDD(c, sim.WithManagerOptions(mgrOpts...))
 	if err != nil {
-		return err
+		return row, err
 	}
 	state, err := s.RunContext(ctx)
 	if err != nil {
@@ -147,39 +249,52 @@ func runRow(name string, shots int, seed uint64, budget, ddBudget int, timeout t
 		if mark, ok := cell(err); ok {
 			fmt.Printf("%-18s %6d | %8s %10s | %12s %10s | %10s\n",
 				name, c.NQubits, mark, mark, mark, mark, mark)
-			return nil
+			row.Status = mark
+			row.PeakNodes = s.Manager().PeakNodes()
+			row.HitRates = hitRates(s.Manager().TableStats())
+			return row, nil
 		}
-		return err
+		return row, err
 	}
 	simTime := time.Since(simStart)
 	m := s.Manager()
 	nodeCount := m.NodeCount(state)
+	row.Status = "ok"
+	row.SimSeconds = simTime.Seconds()
+	row.PeakNodes = m.PeakNodes()
+	row.StateNodes = nodeCount
+	row.HitRates = hitRates(m.TableStats())
 
 	// Vector-based column: expand amplitudes, square, prefix-sum, then
 	// binary-search sampling. The paper's time column covers prefix-sum
 	// construction plus the million samples.
 	vecCol := "MO"
 	vecTime := "MO"
+	row.VectorStatus = "MO"
 	if c.NQubits <= budget && c.NQubits <= dd.MaxDenseQubits {
 		start := time.Now()
 		amps, err := m.ToVector(state)
 		if err != nil {
-			return err
+			return row, err
 		}
 		probs := core.ProbabilitiesFromAmplitudes(amps)
 		sampler, err := core.NewPrefixSampler(probs)
 		if err != nil {
-			return err
+			return row, err
 		}
 		if err := sampleSink(ctx, sampler, seed, shots); err != nil {
 			if mark, ok := cell(err); ok {
 				vecCol, vecTime = mark, mark
+				row.VectorStatus = mark
 			} else {
-				return err
+				return row, err
 			}
 		} else {
-			vecTime = fmt.Sprintf("%.2f", time.Since(start).Seconds())
+			elapsed := time.Since(start)
+			vecTime = fmt.Sprintf("%.2f", elapsed.Seconds())
 			vecCol = fmt.Sprintf("2^%d", c.NQubits)
+			row.VectorStatus = "ok"
+			row.VectorSeconds = elapsed.Seconds()
 		}
 	}
 
@@ -188,23 +303,27 @@ func runRow(name string, shots int, seed uint64, budget, ddBudget int, timeout t
 	start := time.Now()
 	ddSampler, err := core.NewDDSampler(m, state)
 	if err != nil {
-		return err
+		return row, err
 	}
 	ddSize := fmt.Sprintf("%6d ≈2^%-4.1f", nodeCount, math.Log2(float64(nodeCount)))
 	var ddTime string
 	if err := sampleSink(ctx, ddSampler, seed, shots); err != nil {
 		if mark, ok := cell(err); ok {
 			ddTime = mark
+			row.DDStatus = mark
 		} else {
-			return err
+			return row, err
 		}
 	} else {
-		ddTime = fmt.Sprintf("%.2f", time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		ddTime = fmt.Sprintf("%.2f", elapsed.Seconds())
+		row.DDStatus = "ok"
+		row.DDSeconds = elapsed.Seconds()
 	}
 
 	fmt.Printf("%-18s %6d | %8s %10s | %12s %10s | %10.2f\n",
 		name, c.NQubits, vecCol, vecTime, ddSize, ddTime, simTime.Seconds())
-	return nil
+	return row, nil
 }
 
 // sampleSink draws shots samples into a throwaway sink, checking the

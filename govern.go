@@ -26,6 +26,7 @@ import (
 
 	"weaksim/internal/core"
 	"weaksim/internal/dd"
+	"weaksim/internal/obs"
 	"weaksim/internal/sim"
 	"weaksim/internal/statevec"
 )
@@ -64,10 +65,30 @@ type RunReport struct {
 	PeakNodes int
 	// NodeBudget echoes the configured DD node budget (0 = unlimited).
 	NodeBudget int
+	// Telemetry is the machine-readable summary of the run: per-phase
+	// durations (when WithMetrics attached a registry), peak nodes, and
+	// cache hit rates. Non-nil whenever the DD backend was entered; nil
+	// only for pure vector runs without a registry and for early usage
+	// failures.
+	Telemetry *Telemetry
 }
 
 func (r *RunReport) note(format string, args ...any) {
 	r.Fallbacks = append(r.Fallbacks, fmt.Sprintf(format, args...))
+}
+
+// noteEvent records a degradation-ladder step both in the human-readable
+// fallback list and, when tracing is enabled, as a structured govern-phase
+// trace event.
+func (r *RunReport) noteEvent(tr *obs.Tracer, name string, attrs map[string]any, format string, args ...any) {
+	r.note(format, args...)
+	if tr != nil {
+		if attrs == nil {
+			attrs = map[string]any{}
+		}
+		attrs["detail"] = r.Fallbacks[len(r.Fallbacks)-1]
+		tr.Event(obs.PhaseGovern, name, attrs)
+	}
 }
 
 // String renders the report in one line per fact, for CLI -stats output.
@@ -97,13 +118,15 @@ func guard(err *error) {
 }
 
 // newGovernedDD builds a DD simulator honoring the config's normalization
-// scheme and node budget.
+// scheme, node budget, and observability attachments.
 func newGovernedDD(c *Circuit, cfg config) (*sim.DDSimulator, error) {
 	mgrOpts := []dd.Option{dd.WithNormalization(cfg.norm)}
 	if cfg.nodeBudget > 0 {
 		mgrOpts = append(mgrOpts, dd.WithNodeBudget(cfg.nodeBudget))
 	}
-	return sim.NewDD(c, sim.WithManagerOptions(mgrOpts...))
+	return sim.NewDD(c,
+		sim.WithManagerOptions(mgrOpts...),
+		sim.WithObservability(cfg.reg, cfg.tracer))
 }
 
 // SimulateContext is Simulate with cooperative cancellation and resource
@@ -113,11 +136,15 @@ func newGovernedDD(c *Circuit, cfg config) (*sim.DDSimulator, error) {
 func SimulateContext(ctx context.Context, c *Circuit, opts ...Option) (st *State, err error) {
 	defer guard(&err)
 	cfg := newConfig(opts)
+	stopBuild := obs.StartPhase(cfg.reg, cfg.tracer, obs.PhaseBuild)
 	s, err := newGovernedDD(c, cfg)
+	stopBuild()
 	if err != nil {
 		return nil, err
 	}
+	stopApply := obs.StartPhase(cfg.reg, cfg.tracer, obs.PhaseApply)
 	edge, err := s.RunContext(ctx)
+	stopApply()
 	if err != nil {
 		return nil, fmt.Errorf("weaksim: %w", err)
 	}
@@ -155,11 +182,15 @@ func SimulateAuto(ctx context.Context, c *Circuit, opts ...Option) (st *State, r
 	}
 	vs, verr := sim.NewVector(c, vecBudget)
 	if verr == nil {
+		stopVec := obs.StartPhase(cfg.reg, cfg.tracer, obs.PhaseApply)
 		var dense *statevec.State
 		dense, verr = vs.RunContext(ctx)
+		stopVec()
 		if verr == nil {
 			report.Backend = "vector"
-			return &State{dense: dense, cfg: cfg}, report, nil
+			st := &State{dense: dense, cfg: cfg}
+			report.Telemetry = st.Telemetry()
+			return st, report, nil
 		}
 	}
 	if !errors.Is(verr, ErrMemoryOut) {
@@ -167,21 +198,32 @@ func SimulateAuto(ctx context.Context, c *Circuit, opts ...Option) (st *State, r
 		// resource exhaustion — switching backends cannot cure them.
 		return nil, report, fmt.Errorf("weaksim: %w", verr)
 	}
-	report.note("vector backend: %v → falling back to DD", verr)
+	report.noteEvent(cfg.tracer, "vector-to-dd", map[string]any{"vector_budget_qubits": vecBudget},
+		"vector backend: %v → falling back to DD", verr)
 
 	// Tier 2 + 3: DD backend under the node budget, pruning under pressure.
+	stopBuild := obs.StartPhase(cfg.reg, cfg.tracer, obs.PhaseBuild)
 	s, err := newGovernedDD(c, cfg)
+	stopBuild()
 	if err != nil {
 		return nil, report, fmt.Errorf("weaksim: %w", err)
 	}
 	report.Backend = "dd"
 	mgr := s.Manager()
+	// The DD tier's telemetry digest is attached on every exit path — the
+	// failed ones included, so MO/TO harness cells still carry peak nodes
+	// and hit rates.
+	defer func() {
+		report.Telemetry = telemetryFromDD(mgr.TableStats(), mgr.PeakNodes(), mgr.LiveNodes(), cfg.reg)
+	}()
 	fidelity := 1.0
 	const maxPrunes = 64 // hard stop against pathological no-progress loops
 	stuckPos := -1       // op index of the last budget failure
 	shrink := 2          // prune target divisor: budget/shrink live nodes
 	for {
+		stopApply := obs.StartPhase(cfg.reg, cfg.tracer, obs.PhaseApply)
 		edge, rerr := s.RunContext(ctx)
+		stopApply()
 		report.PeakNodes = mgr.PeakNodes()
 		if rerr == nil {
 			report.Fidelity = fidelity
@@ -202,13 +244,20 @@ func SimulateAuto(ctx context.Context, c *Circuit, opts ...Option) (st *State, r
 		}
 		f, perr := pruneUnderBudget(s, fidelity, cfg.minFidelity, shrink)
 		if perr != nil {
-			report.note("approximation cannot recover: %v", perr)
+			report.noteEvent(cfg.tracer, "approximation-failed", map[string]any{"op": s.Pos()},
+				"approximation cannot recover: %v", perr)
 			report.Fidelity = fidelity
 			return nil, report, fmt.Errorf("weaksim: %w", rerr)
 		}
 		fidelity *= f
 		report.Approximations++
-		report.note("dd node budget hit at op %d: pruned state to ≤budget/%d nodes, step fidelity %.6g (cumulative %.6g)",
+		report.noteEvent(cfg.tracer, "approximate", map[string]any{
+			"op":                  s.Pos(),
+			"shrink":              shrink,
+			"step_fidelity":       f,
+			"cumulative_fidelity": fidelity,
+			"live_nodes":          mgr.LiveNodes(),
+		}, "dd node budget hit at op %d: pruned state to ≤budget/%d nodes, step fidelity %.6g (cumulative %.6g)",
 			s.Pos(), shrink, f, fidelity)
 	}
 }

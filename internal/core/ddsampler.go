@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"weaksim/internal/dd"
+	"weaksim/internal/obs"
 	"weaksim/internal/rng"
 )
 
@@ -132,10 +133,11 @@ func TraversalProbabilities(m *dd.Manager, root dd.VEdge) map[*dd.VNode]float64 
 // outgoing edge weights already are the branch probabilities (Section
 // IV-C).
 type DDSampler struct {
-	m    *dd.Manager
-	root dd.VEdge
-	down map[*dd.VNode]float64 // nil when the fast path is active
-	fast bool
+	m       *dd.Manager
+	root    dd.VEdge
+	down    map[*dd.VNode]float64 // nil when the fast path is active
+	fast    bool
+	renorms uint64 // zero-edge fallbacks taken during walks (numerical slack)
 }
 
 // DDSamplerOption configures a DDSampler.
@@ -143,6 +145,19 @@ type DDSamplerOption func(*ddSamplerConfig)
 
 type ddSamplerConfig struct {
 	forceGeneric bool
+	reg          *obs.Registry
+	tracer       *obs.Tracer
+}
+
+// WithObservability attaches a metrics registry and/or tracer to sampler
+// construction: the annotation passes (paper Section IV-B) are timed as
+// annotate-downstream / annotate-upstream phase spans and accumulated into
+// the phase_* counters. Either argument may be nil.
+func WithObservability(reg *obs.Registry, tr *obs.Tracer) DDSamplerOption {
+	return func(c *ddSamplerConfig) {
+		c.reg = reg
+		c.tracer = tr
+	}
 }
 
 // ForceGeneric disables the L2 fast path even when the normalization scheme
@@ -165,9 +180,40 @@ func NewDDSampler(m *dd.Manager, root dd.VEdge, opts ...DDSamplerOption) (*DDSam
 	norm := m.Normalization()
 	s.fast = !cfg.forceGeneric && (norm == dd.NormL2 || norm == dd.NormL2Phase)
 	if !s.fast {
+		stop := obs.StartPhase(cfg.reg, cfg.tracer, obs.PhaseAnnotateDown)
 		s.down = Downstream(m, root)
+		stop()
+		cfg.reg.Gauge("sample_annotated_nodes").Set(int64(len(s.down)))
+	} else if cfg.tracer != nil {
+		// Under L2 normalization the annotation pass is the whole point of
+		// skipping: record that the fast path made it a no-op.
+		cfg.tracer.Event(obs.PhaseAnnotateDown, "skipped-l2-fast-path", nil)
 	}
 	return s, nil
+}
+
+// Renorms returns how many zero-edge fallbacks the sampler has taken across
+// all walks so far — the "rejection/renormalization" events of the
+// randomized traversal, caused purely by floating-point slack at (near-)zero
+// branch probabilities. A healthy state keeps this at or near zero.
+func (s *DDSampler) Renorms() uint64 { return s.renorms }
+
+// AnnotatedTraversal computes the traversal probabilities (upstream ×
+// downstream, paper Section IV-B) with both annotation passes timed as
+// phase spans. It is the instrumented counterpart of
+// TraversalProbabilities, used by diagnostics surfaces.
+func AnnotatedTraversal(m *dd.Manager, root dd.VEdge, reg *obs.Registry, tr *obs.Tracer) map[*dd.VNode]float64 {
+	stopDown := obs.StartPhase(reg, tr, obs.PhaseAnnotateDown)
+	down := Downstream(m, root)
+	stopDown()
+	stopUp := obs.StartPhase(reg, tr, obs.PhaseAnnotateUp)
+	up := Upstream(m, root)
+	stopUp()
+	tp := make(map[*dd.VNode]float64, len(up))
+	for n, u := range up {
+		tp[n] = u * downOf(n, down)
+	}
+	return tp
 }
 
 // Qubits returns the sampled bitstring width.
@@ -199,6 +245,7 @@ func (s *DDSampler) Sample(r *rng.RNG) uint64 {
 		if e.IsZero() {
 			// Floating-point slack put us on a zero edge; the other
 			// branch holds all the mass.
+			s.renorms++
 			if idx&(uint64(1)<<uint(v)) != 0 {
 				idx &^= uint64(1) << uint(v)
 				e = n.E[0]

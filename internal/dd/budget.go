@@ -33,12 +33,34 @@ func (m *Manager) NodeBudget() int { return m.nodeBudget }
 func (m *Manager) SetNodeBudget(n int) { m.nodeBudget = n }
 
 // LiveNodes returns the current number of live nodes across both unique
-// tables. This is the quantity the node budget bounds.
-func (m *Manager) LiveNodes() int { return len(m.vUnique) + len(m.mUnique) }
+// tables. This is the quantity the node budget bounds. Reading it refreshes
+// the peak-node high-water mark.
+func (m *Manager) LiveNodes() int {
+	m.refreshPeak()
+	return len(m.vUnique) + len(m.mUnique)
+}
 
 // PeakNodes returns the high-water mark of LiveNodes over the Manager's
 // lifetime — the "memory" column of the paper's Table I for the DD backend.
-func (m *Manager) PeakNodes() int { return m.peakNodes }
+// The mark is primarily maintained on the unique-table miss path
+// (noteGrowth); refreshPeak in the readers guarantees a snapshot is never
+// stale even for a Manager whose tables grew through a path that bypassed
+// noteGrowth.
+func (m *Manager) PeakNodes() int {
+	m.refreshPeak()
+	return m.peakNodes
+}
+
+// refreshPeak raises the high-water mark to the current live count.
+// noteGrowth already does this on every unique-table miss — the only way
+// the tables grow — but the readers (TableStats, LiveNodes, PeakNodes)
+// refresh defensively so snapshots can never under-report, even if a future
+// growth path forgets the bookkeeping.
+func (m *Manager) refreshPeak() {
+	if live := len(m.vUnique) + len(m.mUnique); live > m.peakNodes {
+		m.peakNodes = live
+	}
+}
 
 // CheckNodeBudget returns ErrNodeBudget (wrapped with the current counts)
 // when the live node count exceeds the budget, and nil otherwise. Drivers
@@ -81,6 +103,7 @@ func (m *Manager) Guarded(f func() error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if a, ok := r.(budgetAbort); ok {
+				m.noteBudgetPressure(a.live, a.budget)
 				err = fmt.Errorf("%w: %d live nodes, budget %d", ErrNodeBudget, a.live, a.budget)
 				return
 			}

@@ -125,6 +125,7 @@ type Manager struct {
 	nodeBudget  int // 0 = unlimited; see WithNodeBudget
 	peakNodes   int
 	gen         uint32
+	obs         *ddMetrics // nil = telemetry disabled; see SetObserver
 
 	// counters for instrumentation
 	vHits, vMisses uint64
@@ -211,8 +212,11 @@ type Stats struct {
 	ComplexHits, CMisses uint64
 }
 
-// TableStats returns a snapshot of table and cache statistics.
+// TableStats returns a snapshot of table and cache statistics. Reading a
+// snapshot refreshes the peak-node high-water mark, so PeakNodes is never
+// stale relative to the live count a reader observes.
 func (m *Manager) TableStats() Stats {
+	m.refreshPeak()
 	ch, cm := m.ctab.Stats()
 	return Stats{
 		VNodes: len(m.vUnique), MNodes: len(m.mUnique),

@@ -46,6 +46,7 @@ func (m *Manager) GC(keepV []VEdge, keepM []MEdge) (removedV, removedM int) {
 	m.mulCache = make(map[mulKey]VEdge, 1024)
 	m.addCache = make(map[addKey]VEdge, 1024)
 	m.mops = nil
+	m.noteGC(removedV, removedM)
 	return removedV, removedM
 }
 

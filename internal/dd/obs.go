@@ -1,0 +1,133 @@
+package dd
+
+import "weaksim/internal/obs"
+
+// ddMetrics caches the registry metric pointers the Manager mirrors its
+// internal counters into. The Manager keeps its cheap non-atomic counters on
+// the hot lookup paths (one uint64 increment per unique-table or compute-
+// cache probe) and mirrors them into the registry's atomics at sync points —
+// PublishMetrics, garbage collections, budget-pressure events — so a
+// concurrently scraping debug server sees race-free, slightly-stale values
+// while the disabled path costs exactly one nil pointer check.
+type ddMetrics struct {
+	reg *obs.Registry
+	tr  *obs.Tracer
+
+	vHits, vMisses     *obs.Counter
+	mHits, mMisses     *obs.Counter
+	mulHits, mulMisses *obs.Counter
+	addHits, addMisses *obs.Counter
+	cnumHits, cnumMiss *obs.Counter
+
+	gcRuns      *obs.Counter
+	gcReclaimed *obs.Counter
+	budgetHits  *obs.Counter
+
+	liveNodes   *obs.Gauge
+	peakNodes   *obs.Gauge
+	cnumEntries *obs.Gauge
+}
+
+// SetObserver attaches a metrics registry and tracer to the Manager.
+// Passing a nil registry and nil tracer detaches. The registry receives the
+// metric catalogue documented in DESIGN.md ("Observability"):
+//
+//	dd_unique_v_{hits,misses}_total    vector unique-table probes
+//	dd_unique_m_{hits,misses}_total    matrix unique-table probes
+//	dd_cache_mul_{hits,misses}_total   matrix-vector compute cache
+//	dd_cache_add_{hits,misses}_total   vector-add compute cache
+//	cnum_intern_{hits,misses}_total    complex interning table
+//	cnum_table_entries                 distinct interned components (gauge)
+//	dd_gc_runs_total                   mark-and-sweep collections
+//	dd_gc_reclaimed_nodes_total        nodes reclaimed by GC
+//	dd_budget_pressure_total           node-budget aborts surfaced
+//	dd_live_nodes, dd_peak_nodes       live/high-water node gauges
+func (m *Manager) SetObserver(reg *obs.Registry, tr *obs.Tracer) {
+	if reg == nil && tr == nil {
+		m.obs = nil
+		return
+	}
+	m.obs = &ddMetrics{
+		reg:         reg,
+		tr:          tr,
+		vHits:       reg.Counter("dd_unique_v_hits_total"),
+		vMisses:     reg.Counter("dd_unique_v_misses_total"),
+		mHits:       reg.Counter("dd_unique_m_hits_total"),
+		mMisses:     reg.Counter("dd_unique_m_misses_total"),
+		mulHits:     reg.Counter("dd_cache_mul_hits_total"),
+		mulMisses:   reg.Counter("dd_cache_mul_misses_total"),
+		addHits:     reg.Counter("dd_cache_add_hits_total"),
+		addMisses:   reg.Counter("dd_cache_add_misses_total"),
+		cnumHits:    reg.Counter("cnum_intern_hits_total"),
+		cnumMiss:    reg.Counter("cnum_intern_misses_total"),
+		gcRuns:      reg.Counter("dd_gc_runs_total"),
+		gcReclaimed: reg.Counter("dd_gc_reclaimed_nodes_total"),
+		budgetHits:  reg.Counter("dd_budget_pressure_total"),
+		liveNodes:   reg.Gauge("dd_live_nodes"),
+		peakNodes:   reg.Gauge("dd_peak_nodes"),
+		cnumEntries: reg.Gauge("cnum_table_entries"),
+	}
+	m.PublishMetrics()
+}
+
+// PublishMetrics mirrors the Manager's internal counters into the attached
+// registry. Drivers call it at op granularity (internal/sim does, after
+// every applied operation); the Manager itself calls it after GC and on
+// budget pressure. A Manager without an observer returns immediately.
+func (m *Manager) PublishMetrics() {
+	o := m.obs
+	if o == nil {
+		return
+	}
+	o.vHits.Set(m.vHits)
+	o.vMisses.Set(m.vMisses)
+	o.mHits.Set(m.mHits)
+	o.mMisses.Set(m.mMisses)
+	o.mulHits.Set(m.mulHits)
+	o.mulMisses.Set(m.mulMisses)
+	o.addHits.Set(m.addHits)
+	o.addMisses.Set(m.addMisses)
+	ch, cm := m.ctab.Stats()
+	o.cnumHits.Set(ch)
+	o.cnumMiss.Set(cm)
+	o.gcRuns.Set(m.gcRuns)
+	live := int64(m.LiveNodes())
+	o.liveNodes.Set(live)
+	o.peakNodes.SetMax(live)
+	o.peakNodes.SetMax(int64(m.peakNodes))
+	o.cnumEntries.Set(int64(m.ctab.Len()))
+}
+
+// noteGC records a finished garbage collection in the registry and emits a
+// structured trace event with the sweep's yield.
+func (m *Manager) noteGC(removedV, removedM int) {
+	o := m.obs
+	if o == nil {
+		return
+	}
+	o.gcReclaimed.Add(uint64(removedV + removedM))
+	m.PublishMetrics()
+	if o.tr != nil {
+		o.tr.Event(obs.PhaseApply, "gc", map[string]any{
+			"removed_v": removedV,
+			"removed_m": removedM,
+			"live":      m.LiveNodes(),
+		})
+	}
+}
+
+// noteBudgetPressure records a node-budget abort surfacing through Guarded.
+func (m *Manager) noteBudgetPressure(live, budget int) {
+	o := m.obs
+	if o == nil {
+		return
+	}
+	o.budgetHits.Inc()
+	m.PublishMetrics()
+	if o.tr != nil {
+		o.tr.Event(obs.PhaseApply, "budget-pressure", map[string]any{
+			"live":   live,
+			"budget": budget,
+		})
+	}
+}

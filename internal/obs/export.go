@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters as `counter`, gauges as `gauge`,
+// histograms as `histogram` with cumulative `_bucket{le=...}` series plus
+// `_sum` and `_count`. Output is sorted by metric name so scrapes and
+// goldens are deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		for i, bound := range h.Bounds {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", pn, bound, h.Cumulative[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+			pn, h.Count, pn, h.Sum, pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName sanitizes a metric name to the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	ok := func(i int, c rune) bool {
+		return c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+	}
+	for i, c := range name {
+		if !ok(i, c) {
+			var b strings.Builder
+			for j, d := range name {
+				if ok(j, d) {
+					b.WriteRune(d)
+				} else {
+					b.WriteByte('_')
+				}
+			}
+			return b.String()
+		}
+		_ = i
+	}
+	return name
+}
+
+var expvarMu sync.Mutex
+
+// PublishExpvar publishes the registry's live snapshot under the given
+// expvar name (visible at /debug/vars of any expvar-serving process).
+// Publishing the same name twice is a no-op rather than the package-level
+// panic expvar.Publish would raise, so facades can call this idempotently;
+// the last registry wins is NOT attempted — the first publication is kept.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// DebugServer is a running telemetry/pprof HTTP server.
+type DebugServer struct {
+	// Addr is the bound listen address (useful when the requested port was
+	// 0).
+	Addr string
+	srv  *http.Server
+}
+
+// Close shuts the server down immediately.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// ServeDebug starts an HTTP debug server on addr exposing
+//
+//	/metrics      — Prometheus text format of the registry
+//	/metrics.json — the same snapshot as JSON
+//	/debug/vars   — expvar (includes the registry when PublishExpvar was
+//	                called)
+//	/debug/pprof/ — the standard pprof profile index
+//
+// The server runs on its own goroutine until Close. It uses a private mux,
+// so importing net/http/pprof's DefaultServeMux side effects are not relied
+// upon.
+func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, r.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &DebugServer{Addr: ln.Addr().String(), srv: srv}, nil
+}
+
+func writeJSON(w io.Writer, v any) {
+	// Errors are dropped — telemetry never fails the process.
+	_ = json.NewEncoder(w).Encode(v)
+}

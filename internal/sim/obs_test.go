@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"testing"
+
+	"weaksim/internal/algo"
+	"weaksim/internal/circuit"
+	"weaksim/internal/dd"
+	"weaksim/internal/obs"
+)
+
+// TestSimTelemetryCounters pins the exact op accounting on a deterministic
+// circuit: sim_ops_applied_total equals the non-barrier op count, the apply
+// latency histogram saw one observation per applied batch, and the mirrored
+// dd_* counters match the manager's own statistics.
+func TestSimTelemetryCounters(t *testing.T) {
+	c, err := algo.Generate("qft_6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	var sink obs.CollectSink
+	tr := obs.NewTracer(&sink, obs.WithEvery(4))
+	s, err := NewDD(c, WithObservability(reg, tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	wantOps := uint64(c.NumOps())
+	if got := snap.Counters["sim_ops_applied_total"]; got != wantOps {
+		t.Fatalf("sim_ops_applied_total = %d, want %d", got, wantOps)
+	}
+	// Without fusion each applied op is one histogram observation.
+	if got := reg.Histogram("sim_op_apply_ns", nil).Count(); got != wantOps {
+		t.Fatalf("sim_op_apply_ns count = %d, want %d", got, wantOps)
+	}
+	// Mirrored counters must agree with the manager's own stats.
+	st := s.Manager().TableStats()
+	mirror := map[string]uint64{
+		"dd_unique_v_hits_total":    st.VHits,
+		"dd_unique_v_misses_total":  st.VMisses,
+		"dd_unique_m_hits_total":    st.MHits,
+		"dd_unique_m_misses_total":  st.MMisses,
+		"dd_cache_mul_hits_total":   st.MulHits,
+		"dd_cache_mul_misses_total": st.MulMisses,
+		"dd_gc_runs_total":          st.GCRuns,
+	}
+	for name, want := range mirror {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d (manager stats)", name, got, want)
+		}
+	}
+	if got := snap.Gauges["dd_live_nodes"]; got != int64(s.Manager().LiveNodes()) {
+		t.Errorf("dd_live_nodes gauge = %d, want %d", got, s.Manager().LiveNodes())
+	}
+	if got := snap.Gauges["dd_peak_nodes"]; got != int64(s.Manager().PeakNodes()) {
+		t.Errorf("dd_peak_nodes gauge = %d, want %d", got, s.Manager().PeakNodes())
+	}
+
+	// Throttled apply events: one per 4 applied ops.
+	var applyEvents int
+	for _, e := range sink.Events() {
+		if e.Kind == "event" && e.Phase == obs.PhaseApply && e.Name == "op" {
+			applyEvents++
+		}
+	}
+	if want := int(wantOps) / 4; applyEvents != want {
+		t.Errorf("apply trace events = %d, want %d (every=4 over %d ops)", applyEvents, want, wantOps)
+	}
+}
+
+// TestStepTelemetryParity drives the circuit one Step at a time — the
+// governance single-step path — and checks it produces the same op counter
+// as a full Run. Satellite: Step must emit per-op telemetry like the loop.
+func TestStepTelemetryParity(t *testing.T) {
+	c, err := algo.Generate("qft_6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s, err := NewDD(c, WithObservability(reg, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s.Pos() < len(c.Ops) {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantOps := uint64(c.NumOps())
+	if got := reg.Counter("sim_ops_applied_total").Value(); got != wantOps {
+		t.Fatalf("step-driven sim_ops_applied_total = %d, want %d", got, wantOps)
+	}
+	if got := reg.Histogram("sim_op_apply_ns", nil).Count(); got != wantOps {
+		t.Fatalf("step-driven sim_op_apply_ns count = %d, want %d", got, wantOps)
+	}
+}
+
+// TestFusedTelemetry checks the fused run path: windows counted, fused op
+// totals matching the circuit, and window-size histogram populated.
+func TestFusedTelemetry(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := circuit.New(3, "fusewin")
+	for i := 0; i < 12; i++ {
+		c.H(i % 3)
+	}
+	s, err := NewDD(c, WithFusion(4), WithObservability(reg, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["sim_fusion_windows_total"]; got != 3 {
+		t.Fatalf("sim_fusion_windows_total = %d, want 3", got)
+	}
+	if got := snap.Counters["sim_fusion_fused_ops_total"]; got != 12 {
+		t.Fatalf("sim_fusion_fused_ops_total = %d, want 12", got)
+	}
+	if got := snap.Counters["sim_ops_applied_total"]; got != 12 {
+		t.Fatalf("sim_ops_applied_total = %d, want 12", got)
+	}
+	if got := reg.Histogram("sim_fusion_window_ops", nil).Count(); got != 3 {
+		t.Fatalf("sim_fusion_window_ops count = %d, want 3", got)
+	}
+}
+
+// TestLegacyTraceStillFires ensures the pre-obs TraceFunc shim keeps firing
+// now that it rides the noteApplied path, including under fusion where a
+// window can jump the applied counter past several multiples at once.
+func TestLegacyTraceStillFires(t *testing.T) {
+	c, err := algo.Generate("qft_6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fusion := range []int{1, 5} {
+		var calls int
+		s, err := NewDD(c, WithFusion(fusion), WithTrace(3, func(opIndex int, _ dd.Stats) {
+			calls++
+			if opIndex <= 0 {
+				t.Errorf("trace fired with opIndex %d", opIndex)
+			}
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if calls == 0 {
+			t.Errorf("fusion=%d: legacy trace never fired", fusion)
+		}
+	}
+}

@@ -11,10 +11,12 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"weaksim/internal/circuit"
 	"weaksim/internal/dd"
 	"weaksim/internal/gate"
+	"weaksim/internal/obs"
 	"weaksim/internal/statevec"
 )
 
@@ -43,6 +45,39 @@ type DDSimulator struct {
 	fusion     int
 	trace      TraceFunc
 	traceEvery int
+	obs        *simObs // nil = telemetry disabled
+}
+
+// simObs caches the metric handles the simulator touches per operation.
+// When nil (the default) the per-op telemetry cost is one pointer nil-check
+// and zero clock reads; when attached, each applied operation costs two
+// time.Now calls, a histogram observation, and a handful of atomic stores.
+type simObs struct {
+	reg *obs.Registry
+	tr  *obs.Tracer
+
+	opsApplied    *obs.Counter
+	gcSweeps      *obs.Counter
+	fusionWindows *obs.Counter
+	fusionFused   *obs.Counter
+	opLatency     *obs.Histogram
+	windowOps     *obs.Histogram
+}
+
+func newSimObs(reg *obs.Registry, tr *obs.Tracer) *simObs {
+	if reg == nil && tr == nil {
+		return nil
+	}
+	return &simObs{
+		reg:           reg,
+		tr:            tr,
+		opsApplied:    reg.Counter("sim_ops_applied_total"),
+		gcSweeps:      reg.Counter("sim_gc_sweeps_total"),
+		fusionWindows: reg.Counter("sim_fusion_windows_total"),
+		fusionFused:   reg.Counter("sim_fusion_fused_ops_total"),
+		opLatency:     reg.Histogram("sim_op_apply_ns", obs.OpLatencyBounds),
+		windowOps:     reg.Histogram("sim_fusion_window_ops", []float64{1, 2, 4, 8, 16, 32, 64, 128}),
+	}
 }
 
 // DDOption configures a DDSimulator.
@@ -53,6 +88,20 @@ type ddConfig struct {
 	fusion     int
 	trace      TraceFunc
 	traceEvery int
+	reg        *obs.Registry
+	tracer     *obs.Tracer
+}
+
+// WithObservability attaches a metrics registry and/or structured tracer to
+// the simulator and its dd.Manager. Either argument may be nil. With both
+// nil the simulator's telemetry path is a single disabled nil-check per
+// operation; the hot DD lookup paths keep their cheap local counters either
+// way and are mirrored into the registry after every applied operation.
+func WithObservability(reg *obs.Registry, tr *obs.Tracer) DDOption {
+	return func(c *ddConfig) {
+		c.reg = reg
+		c.tracer = tr
+	}
 }
 
 // WithManagerOptions forwards options to the underlying dd.Manager (e.g.
@@ -92,6 +141,7 @@ func NewDD(c *circuit.Circuit, opts ...DDOption) (*DDSimulator, error) {
 		o(&cfg)
 	}
 	mgr := dd.New(c.NQubits, cfg.mgrOpts...)
+	mgr.SetObserver(cfg.reg, cfg.tracer)
 	// Even the |0...0⟩ chain costs one node per qubit, so an absurdly small
 	// node budget can already fail here; surface that as ErrNodeBudget
 	// rather than letting the budget abort escape as a panic.
@@ -110,6 +160,7 @@ func NewDD(c *circuit.Circuit, opts ...DDOption) (*DDSimulator, error) {
 		fusion:     cfg.fusion,
 		trace:      cfg.trace,
 		traceEvery: cfg.traceEvery,
+		obs:        newSimObs(cfg.reg, cfg.tracer),
 	}, nil
 }
 
@@ -189,6 +240,10 @@ func (s *DDSimulator) runFused(ctx context.Context) (dd.VEdge, error) {
 			}
 		}
 		window := s.circ.Ops[s.pos:end]
+		var start time.Time
+		if s.obs != nil {
+			start = time.Now()
+		}
 		var key strings.Builder
 		for _, op := range window {
 			if op.Kind == circuit.BarrierOp {
@@ -225,17 +280,57 @@ func (s *DDSimulator) runFused(ctx context.Context) (dd.VEdge, error) {
 		if err := s.guardedApply(applyWindow); err != nil {
 			return dd.VEdge{}, err
 		}
+		fused := 0
 		for _, op := range window {
 			if op.Kind != circuit.BarrierOp {
 				s.applied++
+				fused++
 			}
 		}
 		s.pos = end
+		var dur time.Duration
+		if s.obs != nil {
+			dur = time.Since(start)
+			s.obs.fusionWindows.Inc()
+			s.obs.fusionFused.Add(uint64(fused))
+			s.obs.windowOps.Observe(float64(fused))
+		}
+		s.noteApplied(fused, dur)
 		if s.mgr.ShouldGC() {
 			s.collect()
 		}
 	}
 	return s.state, nil
+}
+
+// noteApplied records per-op telemetry for n operations just applied in
+// dur. Both drivers funnel through it — the stepwise loop (Step, which the
+// governance planner also drives directly, so degraded single-step runs are
+// just as observable) and the fused-window loop — and it fires the legacy
+// TraceFunc whenever the applied count crosses a multiple of the configured
+// interval. With no observer and no TraceFunc installed the cost is two
+// nil-checks.
+func (s *DDSimulator) noteApplied(n int, dur time.Duration) {
+	if o := s.obs; o != nil {
+		o.opsApplied.Add(uint64(n))
+		o.opLatency.ObserveDuration(dur)
+		s.mgr.PublishMetrics()
+		if o.tr != nil {
+			o.tr.EmitThrottled(s.applied, obs.PhaseApply, "op", map[string]any{
+				"applied":    s.applied,
+				"pos":        s.pos,
+				"dur_ns":     dur.Nanoseconds(),
+				"live_nodes": s.mgr.LiveNodes(),
+			})
+		}
+	}
+	if s.trace != nil && s.traceEvery > 0 && n > 0 {
+		// Fire when (applied-n, applied] contains a multiple of the
+		// interval, so fused windows report like n stepwise ops would.
+		if s.applied/s.traceEvery > (s.applied-n)/s.traceEvery {
+			s.trace(s.applied, s.mgr.TableStats())
+		}
+	}
 }
 
 // guardedApply runs apply under the Manager's node-budget guard, escalating
@@ -270,6 +365,9 @@ func (s *DDSimulator) dropOpCache() {
 	s.roots = s.roots[:0]
 	s.mgr.GC([]dd.VEdge{s.state}, nil)
 	s.gcSweeps++
+	if s.obs != nil {
+		s.obs.gcSweeps.Inc()
+	}
 }
 
 // Step applies the next operation. It returns an error when the circuit is
@@ -287,6 +385,10 @@ func (s *DDSimulator) Step() error {
 		s.pos++
 		return nil
 	}
+	var start time.Time
+	if s.obs != nil {
+		start = time.Now()
+	}
 	err := s.guardedApply(func() error {
 		opDD, err := s.operatorDD(op)
 		if err != nil {
@@ -300,9 +402,11 @@ func (s *DDSimulator) Step() error {
 	}
 	s.pos++
 	s.applied++
-	if s.trace != nil && s.traceEvery > 0 && s.applied%s.traceEvery == 0 {
-		s.trace(s.applied, s.mgr.TableStats())
+	var dur time.Duration
+	if s.obs != nil {
+		dur = time.Since(start)
 	}
+	s.noteApplied(1, dur)
 	if s.mgr.ShouldGC() {
 		s.collect()
 	}
@@ -318,6 +422,9 @@ func (s *DDSimulator) collect() {
 	}
 	s.mgr.GC([]dd.VEdge{s.state}, s.roots)
 	s.gcSweeps++
+	if s.obs != nil {
+		s.obs.gcSweeps.Inc()
+	}
 }
 
 // operatorDD translates an operation into a matrix DD, memoizing repeated
@@ -439,6 +546,12 @@ func (s *VectorSimulator) RunContext(ctx context.Context) (*statevec.State, erro
 
 // TraceFunc receives progress callbacks during Run: the index of the
 // operation just applied and a snapshot of the manager's table statistics.
+//
+// TraceFunc predates the structured telemetry layer (internal/obs) and is
+// kept as a compatibility shim; it now rides the same per-op notification
+// path as the obs spans, so it fires identically from the stepwise loop,
+// the fused-window loop, and single Step calls. New code should prefer
+// WithObservability.
 type TraceFunc func(opIndex int, stats dd.Stats)
 
 // WithTrace installs a progress callback invoked after every `every`

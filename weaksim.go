@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"weaksim/internal/algo"
 	"weaksim/internal/circuit"
@@ -12,6 +13,7 @@ import (
 	"weaksim/internal/core"
 	"weaksim/internal/dd"
 	"weaksim/internal/gate"
+	"weaksim/internal/obs"
 	"weaksim/internal/rng"
 	"weaksim/internal/statevec"
 )
@@ -113,6 +115,8 @@ type config struct {
 	forceGeneric bool
 	nodeBudget   int
 	minFidelity  float64
+	reg          *obs.Registry // nil = metrics disabled (see WithMetrics)
+	tracer       *obs.Tracer   // nil = tracing disabled (see WithTracer)
 }
 
 func newConfig(opts []Option) config {
@@ -288,20 +292,27 @@ func (s *State) Sampler(opts ...Option) (*Sampler, error) {
 		cfg.method = MethodPrefix
 	}
 	var inner core.Sampler
+	var ds *core.DDSampler
 	switch cfg.method {
 	case MethodDD:
-		var ddOpts []core.DDSamplerOption
+		ddOpts := []core.DDSamplerOption{core.WithObservability(cfg.reg, cfg.tracer)}
 		if cfg.forceGeneric {
 			ddOpts = append(ddOpts, core.ForceGeneric())
 		}
-		ds, err := core.NewDDSampler(s.mgr, s.edge, ddOpts...)
+		var err error
+		ds, err = core.NewDDSampler(s.mgr, s.edge, ddOpts...)
 		if err != nil {
 			return nil, err
 		}
 		inner = ds
 	case MethodPrefix, MethodLinear, MethodAlias:
+		// For the dense family the probability expansion and prefix-sum /
+		// alias-table construction is the annotation analogue of the DD
+		// sampler's downstream pass, so it lands in the same phase bucket.
+		stop := obs.StartPhase(cfg.reg, cfg.tracer, obs.PhaseAnnotateDown)
 		amps, err := s.vector()
 		if err != nil {
+			stop()
 			return nil, err
 		}
 		probs := core.ProbabilitiesFromAmplitudes(amps)
@@ -313,13 +324,22 @@ func (s *State) Sampler(opts ...Option) (*Sampler, error) {
 		default:
 			inner, err = core.NewAliasSampler(probs)
 		}
+		stop()
 		if err != nil {
 			return nil, err
 		}
 	default:
 		return nil, fmt.Errorf("weaksim: unknown sampling method %v", cfg.method)
 	}
-	return &Sampler{inner: inner, n: s.Qubits(), rand: rng.New(cfg.seed)}, nil
+	smp := &Sampler{inner: inner, n: s.Qubits(), rand: rng.New(cfg.seed), dd: ds}
+	if cfg.reg != nil || cfg.tracer != nil {
+		smp.reg = cfg.reg
+		smp.tr = cfg.tracer
+		smp.walkHist = cfg.reg.Histogram("sample_walk_ns", obs.WalkLatencyBounds)
+		smp.shotsCtr = cfg.reg.Counter("sample_shots_total")
+		smp.renorms = cfg.reg.Counter("sample_renorm_total")
+	}
+	return smp, nil
 }
 
 // Sampler draws measurement outcomes from a simulated state. It is a
@@ -328,13 +348,56 @@ type Sampler struct {
 	inner core.Sampler
 	n     int
 	rand  *rng.RNG
+
+	// Telemetry (all nil when disabled — the hot ShotIndex path then costs
+	// one nil-check over the raw walk).
+	reg      *obs.Registry
+	tr       *obs.Tracer
+	walkHist *obs.Histogram
+	shotsCtr *obs.Counter
+	renorms  *obs.Counter
+	dd       *core.DDSampler // non-nil for MethodDD: renorm-event source
+	nShots   uint64
 }
+
+// walkTimingEvery throttles per-shot walk timing: one in this many shots is
+// wall-clocked into the sample_walk_ns histogram, so timing overhead stays
+// a fraction of a percent of the sampling loop even when metrics are on.
+const walkTimingEvery = 64
 
 // Qubits returns the width of sampled bitstrings.
 func (s *Sampler) Qubits() int { return s.n }
 
 // ShotIndex draws one sample as a basis-state index.
-func (s *Sampler) ShotIndex() uint64 { return s.inner.Sample(s.rand) }
+func (s *Sampler) ShotIndex() uint64 {
+	if s.walkHist == nil {
+		return s.inner.Sample(s.rand)
+	}
+	return s.shotObserved()
+}
+
+// shotObserved is the metrics-enabled shot path, kept out of ShotIndex so
+// the disabled path stays inlineable.
+func (s *Sampler) shotObserved() uint64 {
+	s.nShots++
+	s.shotsCtr.Inc()
+	if s.nShots%walkTimingEvery != 0 {
+		return s.inner.Sample(s.rand)
+	}
+	start := time.Now()
+	idx := s.inner.Sample(s.rand)
+	s.walkHist.ObserveDuration(time.Since(start))
+	s.syncWalkStats()
+	return idx
+}
+
+// syncWalkStats mirrors the DD sampler's renormalization-event count (zero-
+// edge fallbacks caused by floating-point slack) into the registry.
+func (s *Sampler) syncWalkStats() {
+	if s.dd != nil {
+		s.renorms.Set(s.dd.Renorms())
+	}
+}
 
 // Shot draws one sample as a bitstring, most significant qubit first —
 // exactly what a physical quantum computer would print.
@@ -342,23 +405,30 @@ func (s *Sampler) Shot() string { return core.FormatBits(s.ShotIndex(), s.n) }
 
 // Counts draws shots samples and tallies them by bitstring.
 func (s *Sampler) Counts(shots int) map[string]int {
+	stop := obs.StartPhase(s.reg, s.tr, obs.PhaseSample)
 	counts := make(map[string]int)
 	for i := 0; i < shots; i++ {
 		counts[s.Shot()]++
 	}
+	stop()
+	s.syncWalkStats()
 	return counts
 }
 
 // CountsByIndex draws shots samples and tallies them by basis-state index.
 func (s *Sampler) CountsByIndex(shots int) map[uint64]int {
-	return core.Counts(s.inner, s.rand, shots)
+	stop := obs.StartPhase(s.reg, s.tr, obs.PhaseSample)
+	counts := core.Counts(s.inner, s.rand, shots)
+	stop()
+	s.noteBatch(counts)
+	return counts
 }
 
 // CountsContext is Counts with cooperative cancellation, checked every
 // core.CtxCheckShots samples. On cancellation it returns the partial
 // tallies drawn so far alongside the context's error.
 func (s *Sampler) CountsContext(ctx context.Context, shots int) (map[string]int, error) {
-	idx, err := core.CountsContext(ctx, s.inner, s.rand, shots)
+	idx, err := s.CountsByIndexContext(ctx, shots)
 	counts := make(map[string]int, len(idx))
 	for i, n := range idx {
 		counts[core.FormatBits(i, s.n)] = n
@@ -369,7 +439,27 @@ func (s *Sampler) CountsContext(ctx context.Context, shots int) (map[string]int,
 // CountsByIndexContext is CountsByIndex with cooperative cancellation. On
 // cancellation it returns the partial tallies alongside the context's error.
 func (s *Sampler) CountsByIndexContext(ctx context.Context, shots int) (map[uint64]int, error) {
-	return core.CountsContext(ctx, s.inner, s.rand, shots)
+	stop := obs.StartPhase(s.reg, s.tr, obs.PhaseSample)
+	counts, err := core.CountsContext(ctx, s.inner, s.rand, shots)
+	stop()
+	s.noteBatch(counts)
+	return counts, err
+}
+
+// noteBatch accounts a batch drawn through the core helpers (which bypass
+// ShotIndex): the actually drawn shot count — partial batches under
+// cancellation report what was really drawn — plus the walk-stat mirror.
+func (s *Sampler) noteBatch(counts map[uint64]int) {
+	if s.shotsCtr == nil {
+		return
+	}
+	var drawn uint64
+	for _, n := range counts {
+		drawn += uint64(n)
+	}
+	s.nShots += drawn
+	s.shotsCtr.Add(drawn)
+	s.syncWalkStats()
 }
 
 // Run is the one-call weak simulation of the paper's Fig. 2: strong
