@@ -1,11 +1,12 @@
 # Development targets. `make check` is the tier-1 gate: everything a commit
-# must pass. `make race` adds the race detector over the short suite —
-# the Manager is documented single-threaded, so this guards the test
-# harness itself and any future parallel sampler work.
+# must pass. `make race` adds the race detector over the short suite, and
+# `make race-stress` repeatedly hammers the parallel-sampling tests — the
+# Manager is documented single-threaded, but frozen snapshots are sampled
+# concurrently, so those paths get dedicated race coverage.
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-json table clean
+.PHONY: check build vet test race race-stress bench bench-frozen bench-json table clean
 
 check: vet build test
 
@@ -21,9 +22,19 @@ test:
 race:
 	$(GO) test -race -short ./...
 
+# Dedicated race stress over the freeze-then-sample worker pool: every
+# parallel/stress test, three times, under the race detector.
+race-stress:
+	$(GO) test -race -run 'Parallel|Stress|Workers' -count=3 ./...
+
 # The sampling fast path benchmark watched for regressions (Section IV).
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkDDSampling -benchtime 2s .
+
+# Frozen-vs-live per-shot sampling cost (the freeze-then-sample refactor's
+# headline number; committed snapshot lives in BENCH_FROZEN.txt).
+bench-frozen:
+	$(GO) test -run '^$$' -bench 'BenchmarkSampleLive|BenchmarkSampleFrozen|BenchmarkFreeze' -benchtime 100000x .
 
 # Regenerate the Table I rows that fit a laptop.
 table:

@@ -242,6 +242,136 @@ func BenchmarkDDSamplingFastPath(b *testing.B) {
 	}
 }
 
+// frozenBenchCache shares strongly-simulated (Manager, root) pairs across
+// the freeze-ablation benchmarks.
+var frozenBenchCache sync.Map
+
+type frozenBenchEntry struct {
+	m    *dd.Manager
+	edge dd.VEdge
+}
+
+func frozenBenchState(b *testing.B, name string) (*dd.Manager, dd.VEdge) {
+	b.Helper()
+	if v, ok := frozenBenchCache.Load(name); ok {
+		e := v.(frozenBenchEntry)
+		return e.m, e.edge
+	}
+	c, err := algo.Generate(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sim.NewDD(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edge, err := s.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	frozenBenchCache.Store(name, frozenBenchEntry{s.Manager(), edge})
+	return s.Manager(), edge
+}
+
+// frozenBenchRows are the Table I circuits the freeze ablation runs on:
+// light enough to strong-simulate in the suite, spanning tiny (qft) to
+// thousands of nodes (shor, jellium).
+var frozenBenchRows = []string{"qft_16", "shor_33_2", "shor_55_2", "jellium_2x2"}
+
+// BenchmarkSampleLive is the pre-freeze baseline: per-sample cost of the
+// pointer walk over the live diagram, under the L2 fast rule and the
+// generic downstream rule (which consults a hash map of downstream masses
+// at every branch).
+func BenchmarkSampleLive(b *testing.B) {
+	for _, name := range frozenBenchRows {
+		name := name
+		for _, generic := range []bool{false, true} {
+			generic := generic
+			mode := "fast"
+			if generic {
+				mode = "generic"
+			}
+			b.Run(name+"/"+mode, func(b *testing.B) {
+				m, edge := frozenBenchState(b, name)
+				var opts []core.DDSamplerOption
+				if generic {
+					opts = append(opts, core.ForceGeneric())
+				}
+				sampler, err := core.NewDDSampler(m, edge, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := rng.New(1)
+				b.ResetTimer()
+				var sink uint64
+				for i := 0; i < b.N; i++ {
+					sink ^= sampler.Sample(r)
+				}
+				_ = sink
+			})
+		}
+	}
+}
+
+// BenchmarkSampleFrozen is the freeze-then-sample counterpart of
+// BenchmarkSampleLive: identical states and random sequences, but the walk
+// runs over the immutable flat-array snapshot — index chasing instead of
+// pointer chasing, precomputed thresholds instead of map lookups. The
+// per-shot delta against BenchmarkSampleLive is the refactor's payoff; the
+// one-off freeze cost is measured by BenchmarkFreeze.
+func BenchmarkSampleFrozen(b *testing.B) {
+	for _, name := range frozenBenchRows {
+		name := name
+		for _, generic := range []bool{false, true} {
+			generic := generic
+			mode := "fast"
+			if generic {
+				mode = "generic"
+			}
+			b.Run(name+"/"+mode, func(b *testing.B) {
+				m, edge := frozenBenchState(b, name)
+				var opts []dd.FreezeOption
+				if generic {
+					opts = append(opts, dd.FreezeGeneric())
+				}
+				snap, err := m.Freeze(edge, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sampler, err := core.NewFrozenSampler(snap)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(snap.Len()), "snapnodes")
+				r := rng.New(1)
+				b.ResetTimer()
+				var sink uint64
+				for i := 0; i < b.N; i++ {
+					sink ^= sampler.Sample(r)
+				}
+				_ = sink
+			})
+		}
+	}
+}
+
+// BenchmarkFreeze measures the one-off freeze pass (live DD → immutable
+// snapshot), amortized over however many samples follow.
+func BenchmarkFreeze(b *testing.B) {
+	for _, name := range frozenBenchRows {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			m, edge := frozenBenchState(b, name)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Freeze(edge); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkDDSamplerPrecomputation measures the linear-time precomputation
 // (paper Section IV-B) in isolation: building the sampler including the
 // downstream pass.

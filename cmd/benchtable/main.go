@@ -26,7 +26,9 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"weaksim/internal/algo"
@@ -82,6 +84,17 @@ type benchRow struct {
 	DDStatus      string  `json:"dd_status,omitempty"`
 	DDSeconds     float64 `json:"dd_seconds,omitempty"`
 
+	// Freeze-then-sample columns: FreezeSeconds is the one-off cost of
+	// converting the live diagram into the immutable flat-array snapshot;
+	// DDFrozenSeconds covers the same shot batch drawn by lock-free walks
+	// over the snapshot (sharded across -workers goroutines when set);
+	// DDSpeedup is DDSeconds / DDFrozenSeconds — the per-shot win of the
+	// frozen arrays over the live pointer walk.
+	FreezeSeconds   float64 `json:"freeze_seconds,omitempty"`
+	DDFrozenStatus  string  `json:"dd_frozen_status,omitempty"`
+	DDFrozenSeconds float64 `json:"dd_frozen_seconds,omitempty"`
+	DDSpeedup       float64 `json:"dd_speedup,omitempty"`
+
 	// HitRates maps cache kind → hit rate in [0,1] after strong
 	// simulation: unique_v, unique_m, cache_mul, cache_add, cnum_intern.
 	HitRates map[string]float64 `json:"hit_rates,omitempty"`
@@ -96,6 +109,7 @@ type benchDoc struct {
 	VecBudget   int        `json:"vector_budget_qubits"`
 	DDBudget    int        `json:"dd_node_budget,omitempty"`
 	TimeoutNS   int64      `json:"timeout_ns,omitempty"`
+	Workers     int        `json:"workers"`
 	Rows        []benchRow `json:"rows"`
 }
 
@@ -108,6 +122,7 @@ func run() error {
 		norm     = flag.String("norm", "l2phase", "DD normalization scheme: left, l2, or l2phase")
 		timeout  = flag.Duration("timeout", 0, "per-row wall-clock bound; rows exceeding it report TO like the paper (0 = none)")
 		ddBudget = flag.Int("dd-node-budget", 0, "max live DD nodes per row; rows exceeding it report MO in the DD columns (0 = unlimited)")
+		workers  = flag.Int("workers", 1, "worker goroutines for the frozen-snapshot sampling column (0 = GOMAXPROCS)")
 		jsonOut  = flag.String("json-out", "", `write a machine-readable run summary to this path ("auto" = BENCH_<timestamp>.json)`)
 	)
 	flag.Parse()
@@ -135,10 +150,15 @@ func run() error {
 	if *timeout > 0 {
 		fmt.Printf("per-row timeout: %v; rows exceeding it report TO\n", *timeout)
 	}
+	nWorkers := *workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("frozen column: freeze-then-sample over the immutable snapshot, %d worker(s)\n", nWorkers)
 	fmt.Println()
-	fmt.Printf("%-18s %6s | %8s %10s | %12s %10s | %10s\n",
-		"benchmark", "qubits", "vec size", "vec t[s]", "DD size", "DD t[s]", "sim t[s]")
-	fmt.Println(strings.Repeat("-", 88))
+	fmt.Printf("%-18s %6s | %8s %10s | %12s %9s %9s %6s | %9s\n",
+		"benchmark", "qubits", "vec size", "vec t[s]", "DD size", "live t[s]", "frz t[s]", "spdup", "sim t[s]")
+	fmt.Println(strings.Repeat("-", 104))
 
 	doc := benchDoc{
 		GeneratedAt: time.Now().Format(time.RFC3339),
@@ -148,13 +168,14 @@ func run() error {
 		VecBudget:   *budget,
 		DDBudget:    *ddBudget,
 		TimeoutNS:   int64(*timeout),
+		Workers:     nWorkers,
 	}
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
-		row, err := runRow(name, *shots, *seed, *budget, *ddBudget, *timeout, normScheme)
+		row, err := runRow(name, *shots, *seed, *budget, *ddBudget, nWorkers, *timeout, normScheme)
 		if err != nil {
 			fmt.Printf("%-18s ERROR: %v\n", name, err)
 			row = benchRow{Name: name, Status: "error", Error: err.Error()}
@@ -217,7 +238,7 @@ func hitRates(st dd.Stats) map[string]float64 {
 	return m
 }
 
-func runRow(name string, shots int, seed uint64, budget, ddBudget int, timeout time.Duration, norm dd.Norm) (benchRow, error) {
+func runRow(name string, shots int, seed uint64, budget, ddBudget, workers int, timeout time.Duration, norm dd.Norm) (benchRow, error) {
 	row := benchRow{Name: name}
 	c, err := algo.Generate(name)
 	if err != nil {
@@ -247,8 +268,8 @@ func runRow(name string, shots int, seed uint64, budget, ddBudget int, timeout t
 		// sampling column can run — the whole row is MO/TO, as in the
 		// paper's vector rows that never complete.
 		if mark, ok := cell(err); ok {
-			fmt.Printf("%-18s %6d | %8s %10s | %12s %10s | %10s\n",
-				name, c.NQubits, mark, mark, mark, mark, mark)
+			fmt.Printf("%-18s %6d | %8s %10s | %12s %9s %9s %6s | %9s\n",
+				name, c.NQubits, mark, mark, mark, mark, mark, "", mark)
 			row.Status = mark
 			row.PeakNodes = s.Manager().PeakNodes()
 			row.HitRates = hitRates(s.Manager().TableStats())
@@ -298,8 +319,9 @@ func runRow(name string, shots int, seed uint64, budget, ddBudget int, timeout t
 		}
 	}
 
-	// DD-based column: precompute branch probabilities (a no-op under L2
-	// normalization) and draw the samples by diagram traversal.
+	// DD-based column, live walk: precompute branch probabilities (a no-op
+	// under L2 normalization) and draw the samples by pointer traversal of
+	// the live diagram — the pre-freeze baseline.
 	start := time.Now()
 	ddSampler, err := core.NewDDSampler(m, state)
 	if err != nil {
@@ -321,8 +343,41 @@ func runRow(name string, shots int, seed uint64, budget, ddBudget int, timeout t
 		row.DDSeconds = elapsed.Seconds()
 	}
 
-	fmt.Printf("%-18s %6d | %8s %10s | %12s %10s | %10.2f\n",
-		name, c.NQubits, vecCol, vecTime, ddSize, ddTime, simTime.Seconds())
+	// Frozen column: freeze the state into an immutable snapshot once, then
+	// draw the same batch by lock-free walks over the flat arrays, sharded
+	// across the worker pool. The printed time covers freeze + sampling.
+	freezeStart := time.Now()
+	snap, err := m.Freeze(state)
+	if err != nil {
+		return row, err
+	}
+	row.FreezeSeconds = time.Since(freezeStart).Seconds()
+	frozen, err := core.NewFrozenSampler(snap)
+	if err != nil {
+		return row, err
+	}
+	var frzTime, speedup string
+	start = time.Now()
+	if err := parallelSampleSink(ctx, frozen, seed, shots, workers); err != nil {
+		if mark, ok := cell(err); ok {
+			frzTime = mark
+			row.DDFrozenStatus = mark
+		} else {
+			return row, err
+		}
+	} else {
+		elapsed := time.Since(start)
+		row.DDFrozenStatus = "ok"
+		row.DDFrozenSeconds = elapsed.Seconds()
+		frzTime = fmt.Sprintf("%.2f", row.FreezeSeconds+row.DDFrozenSeconds)
+		if row.DDSeconds > 0 && row.DDFrozenSeconds > 0 {
+			row.DDSpeedup = row.DDSeconds / row.DDFrozenSeconds
+			speedup = fmt.Sprintf("%.2fx", row.DDSpeedup)
+		}
+	}
+
+	fmt.Printf("%-18s %6d | %8s %10s | %12s %9s %9s %6s | %9.2f\n",
+		name, c.NQubits, vecCol, vecTime, ddSize, ddTime, frzTime, speedup, simTime.Seconds())
 	return row, nil
 }
 
@@ -339,5 +394,49 @@ func sampleSink(ctx context.Context, sampler core.Sampler, seed uint64, shots in
 		sink ^= sampler.Sample(r)
 	}
 	_ = sink
+	return nil
+}
+
+// parallelSampleSink is sampleSink sharded across a worker pool: worker k
+// draws its quota from rng.Stream(seed, k) into a goroutine-local sink. The
+// sampler must be safe for concurrent use (core.FrozenSampler is). With
+// workers <= 1 it falls back to the sequential sink so single-worker timings
+// stay directly comparable to the live column.
+func parallelSampleSink(ctx context.Context, sampler core.Sampler, seed uint64, shots, workers int) error {
+	if workers <= 1 {
+		return sampleSink(ctx, sampler, seed, shots)
+	}
+	if workers > shots {
+		workers = shots
+	}
+	base, rem := shots/workers, shots%workers
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		quota := base
+		if k < rem {
+			quota++
+		}
+		wg.Add(1)
+		go func(k, quota int) {
+			defer wg.Done()
+			r := rng.Stream(seed, k)
+			var sink uint64
+			for i := 0; i < quota; i++ {
+				if i%core.CtxCheckShots == 0 && ctx.Err() != nil {
+					errs[k] = ctx.Err()
+					return
+				}
+				sink ^= sampler.Sample(r)
+			}
+			_ = sink
+		}(k, quota)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }

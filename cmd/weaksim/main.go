@@ -118,6 +118,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		qasmFile   = fs.String("qasm", "", "OpenQASM 2.0 file to simulate instead of a named benchmark")
 		shots      = fs.Int("shots", 16, "number of measurement samples to draw")
 		seed       = fs.Uint64("seed", 1, "random seed (equal seeds reproduce samples exactly)")
+		workers    = fs.Int("workers", 1, "worker goroutines for batch sampling over the frozen state snapshot (0 = GOMAXPROCS); equal seeds and worker counts reproduce counts exactly")
 		method     = fs.String("method", "dd", "sampling method: dd, prefix, linear, or alias")
 		norm       = fs.String("norm", "l2phase", "DD normalization scheme: left, l2, or l2phase")
 		top        = fs.Int("top", 0, "print only the k most frequent outcomes as a histogram")
@@ -239,6 +240,7 @@ Exit codes:
 		weaksim.WithSeed(*seed),
 		weaksim.WithMethod(m),
 		weaksim.WithNormalization(normScheme),
+		weaksim.WithWorkers(*workers),
 		weaksim.WithMetrics(reg),
 		weaksim.WithTracer(tracer),
 	}
@@ -348,6 +350,9 @@ Exit codes:
 	if *showStats {
 		fmt.Fprintf(stderr, "circuit %s: %d qubits, %d ops, depth %d\n", c.Name, c.NQubits, c.NumOps(), c.Depth())
 		fmt.Fprintf(stderr, "final state: %d DD nodes (state space 2^%d)\n", state.NodeCount(), c.NQubits)
+		if n := sampler.SnapshotNodes(); n > 0 {
+			fmt.Fprintf(stderr, "frozen snapshot: %d nodes, %d sampling workers\n", n, sampler.Workers())
+		}
 		fmt.Fprintf(stderr, "strong simulation %v, sampler setup %v, %d samples %v (%s method)\n",
 			simTime.Round(time.Microsecond), setupTime.Round(time.Microsecond),
 			*shots, sampleTime.Round(time.Microsecond), m)

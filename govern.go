@@ -63,6 +63,12 @@ type RunReport struct {
 	// PeakNodes is the decision-diagram live-node high-water mark (0 for
 	// pure vector runs).
 	PeakNodes int
+	// SnapshotNodes is the node count of the immutable state snapshot the
+	// sampling stage ran on (RunAuto only; 0 when no sampling happened or
+	// the state was vector-backed). Once the state is frozen, sampling can
+	// no longer hit the node budget: the MO/TO failure modes of the paper's
+	// Table I are confined to the strong-simulation stage.
+	SnapshotNodes int
 	// NodeBudget echoes the configured DD node budget (0 = unlimited).
 	NodeBudget int
 	// Telemetry is the machine-readable summary of the run: per-phase
@@ -100,6 +106,9 @@ func (r *RunReport) String() string {
 	}
 	if r.NodeBudget > 0 {
 		fmt.Fprintf(&b, " node-budget=%d", r.NodeBudget)
+	}
+	if r.SnapshotNodes > 0 {
+		fmt.Fprintf(&b, " snapshot-nodes=%d", r.SnapshotNodes)
 	}
 	for _, f := range r.Fallbacks {
 		fmt.Fprintf(&b, "\nfallback: %s", f)
@@ -310,6 +319,15 @@ func pruneUnderBudget(s *sim.DDSimulator, have, minFidelity float64, shrink int)
 // by shots context-aware measurement samples. On sampling cancellation the
 // partial counts drawn so far are returned alongside the error; the report
 // is non-nil in every case.
+//
+// Sampling runs on an immutable snapshot of the final state (see
+// Manager.Freeze): once SimulateAuto returns, no further degradation step
+// can occur — the snapshot lives outside the node budget, so drawing any
+// number of shots can neither trigger ErrNodeBudget nor force another
+// approximation. The degradation ladder therefore ends at the freeze, and
+// the report's SnapshotNodes records what the sampler actually walked. With
+// WithWorkers the shot batch is sharded across concurrent walkers on that
+// one snapshot.
 func RunAuto(ctx context.Context, c *Circuit, shots int, opts ...Option) (counts map[string]int, report *RunReport, err error) {
 	defer guard(&err)
 	if shots < 1 {
@@ -323,6 +341,7 @@ func RunAuto(ctx context.Context, c *Circuit, shots int, opts ...Option) (counts
 	if err != nil {
 		return nil, report, err
 	}
+	report.SnapshotNodes = sampler.SnapshotNodes()
 	counts, err = sampler.CountsContext(ctx, shots)
 	return counts, report, err
 }

@@ -43,9 +43,11 @@ type Sampler interface {
 	Qubits() int
 }
 
-// Counts draws shots samples and tallies them by basis-state index.
+// Counts draws shots samples and tallies them by basis-state index. The
+// result map is preallocated from the shot count and register width, so the
+// tally loop never rehashes.
 func Counts(s Sampler, r *rng.RNG, shots int) map[uint64]int {
-	counts := make(map[uint64]int)
+	counts := make(map[uint64]int, CountsSizeHint(shots, s.Qubits()))
 	for i := 0; i < shots; i++ {
 		counts[s.Sample(r)]++
 	}
@@ -63,7 +65,7 @@ const CtxCheckShots = 512
 // alongside the context's error, so a timed-out batch still reports the
 // samples it managed to draw.
 func CountsContext(ctx context.Context, s Sampler, r *rng.RNG, shots int) (map[uint64]int, error) {
-	counts := make(map[uint64]int)
+	counts := make(map[uint64]int, CountsSizeHint(shots, s.Qubits()))
 	for i := 0; i < shots; i++ {
 		if i%CtxCheckShots == 0 && ctx.Err() != nil {
 			return counts, fmt.Errorf("core: sampling interrupted after %d/%d shots: %w",

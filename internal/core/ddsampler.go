@@ -8,70 +8,57 @@ import (
 	"weaksim/internal/rng"
 )
 
+// annotationSnapshot freezes the state with generic (downstream-
+// renormalized) branch probabilities for the pointer-keyed annotation
+// surfaces below. A nil return means the input has no nodes to annotate.
+func annotationSnapshot(m *dd.Manager, root dd.VEdge) *dd.Snapshot {
+	if root.IsZero() || root.N == nil {
+		return nil
+	}
+	snap, err := m.Freeze(root, dd.FreezeGeneric())
+	if err != nil {
+		return nil
+	}
+	return snap
+}
+
 // Downstream computes the downstream probability of every node reachable
 // from root: the total probability mass of all half-paths from the node to
-// the terminal, assuming a unit incoming weight (paper Section IV-B,
-// computed by depth-first traversal). The terminal's downstream probability
-// is 1 and is not stored.
+// the terminal, assuming a unit incoming weight (paper Section IV-B). The
+// terminal's downstream probability is 1 and is not stored.
+//
+// The computation runs over the flat arrays of a dd.Snapshot (one freeze
+// pass instead of a hash-map DFS); the pointer-keyed map view is rebuilt
+// for the diagnostic and approximation surfaces that consume it.
 //
 // Under the L2 normalization schemes every downstream probability is 1 up
 // to the interning tolerance; that invariant is what makes the fast
 // sampling path possible.
 func Downstream(m *dd.Manager, root dd.VEdge) map[*dd.VNode]float64 {
-	down := make(map[*dd.VNode]float64)
-	var dfs func(n *dd.VNode) float64
-	dfs = func(n *dd.VNode) float64 {
-		if n == nil {
-			return 1
-		}
-		if d, ok := down[n]; ok {
-			return d
-		}
-		var d float64
-		for i := 0; i < 2; i++ {
-			if e := n.E[i]; !e.IsZero() {
-				d += e.W.Abs2() * dfs(e.N)
-			}
-		}
-		down[n] = d
-		return d
+	snap := annotationSnapshot(m, root)
+	if snap == nil {
+		return map[*dd.VNode]float64{}
 	}
-	dfs(root.N)
+	down := make(map[*dd.VNode]float64, snap.Len())
+	for i := 0; i < snap.Len(); i++ {
+		down[snap.Origin(int32(i))] = snap.Down(int32(i))
+	}
 	return down
 }
 
 // Upstream computes the upstream probability of every node reachable from
 // root: the total probability mass of all half-paths from the root to the
-// node (paper Section IV-B, computed by breadth-first, level-by-level
-// traversal). The root node's upstream probability is the squared magnitude
-// of the root edge weight.
+// node (paper Section IV-B). The root node's upstream probability is the
+// squared magnitude of the root edge weight. Like Downstream, it is one
+// descending sweep over a snapshot's topologically ordered flat arrays.
 func Upstream(m *dd.Manager, root dd.VEdge) map[*dd.VNode]float64 {
-	up := make(map[*dd.VNode]float64)
-	if root.IsZero() || root.N == nil {
-		return up
+	snap := annotationSnapshot(m, root)
+	if snap == nil {
+		return map[*dd.VNode]float64{}
 	}
-	up[root.N] = root.W.Abs2()
-	frontier := []*dd.VNode{root.N}
-	for len(frontier) > 0 {
-		var next []*dd.VNode
-		seen := make(map[*dd.VNode]bool)
-		for _, n := range frontier {
-			for i := 0; i < 2; i++ {
-				e := n.E[i]
-				if e.IsZero() || e.N == nil {
-					continue
-				}
-				if _, known := up[e.N]; !known {
-					up[e.N] = 0
-				}
-				up[e.N] += up[n] * e.W.Abs2()
-				if !seen[e.N] {
-					seen[e.N] = true
-					next = append(next, e.N)
-				}
-			}
-		}
-		frontier = next
+	up := make(map[*dd.VNode]float64, snap.Len())
+	for i := 0; i < snap.Len(); i++ {
+		up[snap.Origin(int32(i))] = snap.Up(int32(i))
 	}
 	return up
 }
@@ -82,26 +69,30 @@ func Upstream(m *dd.Manager, root dd.VEdge) map[*dd.VNode]float64 {
 // weight magnitude and the successor's downstream probability, renormalized
 // at the node. Entries sum to 1 for every node with non-zero mass.
 func EdgeProbabilities(m *dd.Manager, root dd.VEdge) map[*dd.VNode][2]float64 {
-	down := Downstream(m, root)
-	probs := make(map[*dd.VNode][2]float64, len(down))
-	for n := range down {
-		probs[n] = branchProbs(n, down)
+	snap := annotationSnapshot(m, root)
+	if snap == nil {
+		return map[*dd.VNode][2]float64{}
+	}
+	probs := make(map[*dd.VNode][2]float64, snap.Len())
+	for i := 0; i < snap.Len(); i++ {
+		nd := snap.At(int32(i))
+		var d [2]float64
+		for b := 0; b < 2; b++ {
+			switch k := nd.Kid[b]; {
+			case k == dd.SnapZero:
+			case k == dd.SnapTerminal:
+				d[b] = nd.W[b].Abs2()
+			default:
+				d[b] = nd.W[b].Abs2() * snap.Down(k)
+			}
+		}
+		var p [2]float64
+		if total := d[0] + d[1]; total > 0 {
+			p = [2]float64{d[0] / total, d[1] / total}
+		}
+		probs[snap.Origin(int32(i))] = p
 	}
 	return probs
-}
-
-func branchProbs(n *dd.VNode, down map[*dd.VNode]float64) [2]float64 {
-	var d [2]float64
-	for i := 0; i < 2; i++ {
-		if e := n.E[i]; !e.IsZero() {
-			d[i] = e.W.Abs2() * downOf(e.N, down)
-		}
-	}
-	total := d[0] + d[1]
-	if total <= 0 {
-		return [2]float64{}
-	}
-	return [2]float64{d[0] / total, d[1] / total}
 }
 
 func downOf(n *dd.VNode, down map[*dd.VNode]float64) float64 {
@@ -114,13 +105,16 @@ func downOf(n *dd.VNode, down map[*dd.VNode]float64) float64 {
 // TraversalProbabilities returns the absolute probability that a sample's
 // root-to-terminal walk traverses each node: the product of the node's
 // upstream and downstream probabilities (paper Section IV-B). Probabilities
-// on one level sum to 1 (up to tolerance) for a normalized state.
+// on one level sum to 1 (up to tolerance) for a normalized state. Both
+// annotations come from a single freeze pass.
 func TraversalProbabilities(m *dd.Manager, root dd.VEdge) map[*dd.VNode]float64 {
-	down := Downstream(m, root)
-	up := Upstream(m, root)
-	tp := make(map[*dd.VNode]float64, len(up))
-	for n, u := range up {
-		tp[n] = u * downOf(n, down)
+	snap := annotationSnapshot(m, root)
+	if snap == nil {
+		return map[*dd.VNode]float64{}
+	}
+	tp := make(map[*dd.VNode]float64, snap.Len())
+	for i := 0; i < snap.Len(); i++ {
+		tp[snap.Origin(int32(i))] = snap.Traversal(int32(i))
 	}
 	return tp
 }
@@ -199,20 +193,16 @@ func NewDDSampler(m *dd.Manager, root dd.VEdge, opts ...DDSamplerOption) (*DDSam
 func (s *DDSampler) Renorms() uint64 { return s.renorms }
 
 // AnnotatedTraversal computes the traversal probabilities (upstream ×
-// downstream, paper Section IV-B) with both annotation passes timed as
-// phase spans. It is the instrumented counterpart of
-// TraversalProbabilities, used by diagnostics surfaces.
+// downstream, paper Section IV-B) with the combined freeze pass timed as a
+// phase span. It is the instrumented counterpart of TraversalProbabilities,
+// used by diagnostics surfaces. The snapshot performs both annotation
+// sweeps in one traversal, so the historical annotate-downstream /
+// annotate-upstream span pair collapses into a single freeze span.
 func AnnotatedTraversal(m *dd.Manager, root dd.VEdge, reg *obs.Registry, tr *obs.Tracer) map[*dd.VNode]float64 {
-	stopDown := obs.StartPhase(reg, tr, obs.PhaseAnnotateDown)
-	down := Downstream(m, root)
-	stopDown()
-	stopUp := obs.StartPhase(reg, tr, obs.PhaseAnnotateUp)
-	up := Upstream(m, root)
-	stopUp()
-	tp := make(map[*dd.VNode]float64, len(up))
-	for n, u := range up {
-		tp[n] = u * downOf(n, down)
-	}
+	stop := obs.StartPhase(reg, tr, obs.PhaseFreeze)
+	tp := TraversalProbabilities(m, root)
+	stop()
+	reg.Gauge("sample_annotated_nodes").Set(int64(len(tp)))
 	return tp
 }
 

@@ -9,13 +9,17 @@ import (
 )
 
 // Phase labels follow the paper's weak-simulation pipeline (Fig. 2):
-// strong simulation builds and applies operator DDs, the sampler annotates
-// the diagram with branch probabilities (downstream DFS, upstream BFS —
-// a no-op under L2 normalization), and each shot is a root-to-terminal walk.
-// The govern phase covers the degradation ladder of weaksim.SimulateAuto.
+// strong simulation builds and applies operator DDs, the freeze stage
+// converts the final live diagram into an immutable flat-array snapshot with
+// branch probabilities precomputed inline (the snapshot subsumes the
+// historical downstream/upstream annotation passes — a no-op under L2
+// normalization), and each shot is a root-to-terminal walk over the frozen
+// arrays. The govern phase covers the degradation ladder of
+// weaksim.SimulateAuto.
 const (
 	PhaseBuild        = "build"
 	PhaseApply        = "apply"
+	PhaseFreeze       = "freeze"
 	PhaseAnnotateDown = "annotate-downstream"
 	PhaseAnnotateUp   = "annotate-upstream"
 	PhaseSample       = "sample"

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"weaksim/internal/algo"
@@ -115,12 +116,13 @@ type config struct {
 	forceGeneric bool
 	nodeBudget   int
 	minFidelity  float64
+	workers      int
 	reg          *obs.Registry // nil = metrics disabled (see WithMetrics)
 	tracer       *obs.Tracer   // nil = tracing disabled (see WithTracer)
 }
 
 func newConfig(opts []Option) config {
-	c := config{norm: NormL2Phase, seed: 1, method: MethodDD}
+	c := config{norm: NormL2Phase, seed: 1, method: MethodDD, workers: 1}
 	for _, o := range opts {
 		o(&c)
 	}
@@ -149,6 +151,19 @@ func WithVectorBudget(qubits int) Option { return func(c *config) { c.vectorQubi
 // WithGenericTraversal forces the downstream-probability precomputation in
 // the DD sampler even under L2 normalization (ablation).
 func WithGenericTraversal() Option { return func(c *config) { c.forceGeneric = true } }
+
+// WithWorkers shards batch sampling (Counts, CountsByIndex, and their
+// context-aware variants) across n goroutines walking the same immutable
+// state snapshot concurrently. Worker k draws from the independent stream
+// rng.Stream(seed', k) split off the sampler's seed, so the batch remains a
+// pure function of the seed: equal seeds and worker counts reproduce equal
+// counts, at any level of parallelism. n ≤ 0 selects runtime.GOMAXPROCS(0).
+//
+// The default 1 keeps the historical fully sequential path: every shot is
+// drawn from the sampler's own stream, bit-for-bit identical to releases
+// without worker support. Single-shot draws (Shot, ShotIndex) are always
+// sequential regardless of this setting.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 
 // WithNodeBudget bounds the decision-diagram engine to n live nodes — the
 // DD-side analogue of WithVectorBudget. Simulations whose diagrams outgrow
@@ -292,19 +307,37 @@ func (s *State) Sampler(opts ...Option) (*Sampler, error) {
 		cfg.method = MethodPrefix
 	}
 	var inner core.Sampler
-	var ds *core.DDSampler
+	var frozen *core.FrozenSampler
 	switch cfg.method {
 	case MethodDD:
-		ddOpts := []core.DDSamplerOption{core.WithObservability(cfg.reg, cfg.tracer)}
+		// Freeze-then-sample (paper Section IV over immutable arrays): the
+		// final state DD is converted once into a flat, pointer-free snapshot
+		// with branch probabilities precomputed inline — this pass subsumes
+		// the historical downstream annotation — and every walk thereafter is
+		// a lock-free traversal of the frozen arrays. After the freeze the
+		// Manager is no longer needed for sampling: it may be reused for the
+		// next circuit or garbage-collected while sampling proceeds, and the
+		// walks can never hit the node budget.
+		stop := obs.StartPhase(cfg.reg, cfg.tracer, obs.PhaseFreeze)
+		var frOpts []dd.FreezeOption
 		if cfg.forceGeneric {
-			ddOpts = append(ddOpts, core.ForceGeneric())
+			frOpts = append(frOpts, dd.FreezeGeneric())
 		}
-		var err error
-		ds, err = core.NewDDSampler(s.mgr, s.edge, ddOpts...)
+		snap, err := s.mgr.Freeze(s.edge, frOpts...)
+		stop()
+		if err != nil {
+			return nil, fmt.Errorf("weaksim: %w", err)
+		}
+		frozen, err = core.NewFrozenSampler(snap)
 		if err != nil {
 			return nil, err
 		}
-		inner = ds
+		if cfg.reg != nil {
+			st := snap.Stats()
+			cfg.reg.Gauge("snapshot_nodes").Set(int64(st.Nodes))
+			cfg.reg.Gauge("snapshot_bytes").Set(int64(st.Bytes))
+		}
+		inner = frozen
 	case MethodPrefix, MethodLinear, MethodAlias:
 		// For the dense family the probability expansion and prefix-sum /
 		// alias-table construction is the annotation analogue of the DD
@@ -331,7 +364,11 @@ func (s *State) Sampler(opts ...Option) (*Sampler, error) {
 	default:
 		return nil, fmt.Errorf("weaksim: unknown sampling method %v", cfg.method)
 	}
-	smp := &Sampler{inner: inner, n: s.Qubits(), rand: rng.New(cfg.seed), dd: ds}
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	smp := &Sampler{inner: inner, n: s.Qubits(), rand: rng.New(cfg.seed), frozen: frozen, workers: workers}
 	if cfg.reg != nil || cfg.tracer != nil {
 		smp.reg = cfg.reg
 		smp.tr = cfg.tracer
@@ -343,11 +380,15 @@ func (s *State) Sampler(opts ...Option) (*Sampler, error) {
 }
 
 // Sampler draws measurement outcomes from a simulated state. It is a
-// read-only view: sampling may be repeated indefinitely.
+// read-only view: sampling may be repeated indefinitely. For MethodDD the
+// sampler owns an immutable snapshot of the state (see Manager.Freeze), so
+// it remains valid even if the originating simulation engine is reused or
+// garbage-collected.
 type Sampler struct {
-	inner core.Sampler
-	n     int
-	rand  *rng.RNG
+	inner   core.Sampler
+	n       int
+	rand    *rng.RNG
+	workers int
 
 	// Telemetry (all nil when disabled — the hot ShotIndex path then costs
 	// one nil-check over the raw walk).
@@ -356,7 +397,7 @@ type Sampler struct {
 	walkHist *obs.Histogram
 	shotsCtr *obs.Counter
 	renorms  *obs.Counter
-	dd       *core.DDSampler // non-nil for MethodDD: renorm-event source
+	frozen   *core.FrozenSampler // non-nil for MethodDD: renorm-event source
 	nShots   uint64
 }
 
@@ -391,36 +432,48 @@ func (s *Sampler) shotObserved() uint64 {
 	return idx
 }
 
-// syncWalkStats mirrors the DD sampler's renormalization-event count (zero-
-// edge fallbacks caused by floating-point slack) into the registry.
+// syncWalkStats mirrors the frozen sampler's renormalization-event count
+// (zero-edge fallbacks caused by floating-point slack) into the registry.
 func (s *Sampler) syncWalkStats() {
-	if s.dd != nil {
-		s.renorms.Set(s.dd.Renorms())
+	if s.frozen != nil {
+		s.renorms.Set(s.frozen.Renorms())
 	}
+}
+
+// Workers returns the batch-sampling worker count configured with
+// WithWorkers (after GOMAXPROCS resolution).
+func (s *Sampler) Workers() int { return s.workers }
+
+// SnapshotNodes returns the node count of the frozen state snapshot backing
+// a MethodDD sampler — the paper's "size" column, as frozen. Vector-method
+// samplers have no snapshot and report 0.
+func (s *Sampler) SnapshotNodes() int {
+	if s.frozen == nil {
+		return 0
+	}
+	return s.frozen.Snapshot().Len()
 }
 
 // Shot draws one sample as a bitstring, most significant qubit first —
 // exactly what a physical quantum computer would print.
 func (s *Sampler) Shot() string { return core.FormatBits(s.ShotIndex(), s.n) }
 
-// Counts draws shots samples and tallies them by bitstring.
+// Counts draws shots samples and tallies them by bitstring. With
+// WithWorkers(n > 1) the batch is sharded across n concurrent walkers over
+// the immutable snapshot and merged deterministically.
 func (s *Sampler) Counts(shots int) map[string]int {
-	stop := obs.StartPhase(s.reg, s.tr, obs.PhaseSample)
-	counts := make(map[string]int)
-	for i := 0; i < shots; i++ {
-		counts[s.Shot()]++
+	idx := s.CountsByIndex(shots)
+	counts := make(map[string]int, len(idx))
+	for i, n := range idx {
+		counts[core.FormatBits(i, s.n)] = n
 	}
-	stop()
-	s.syncWalkStats()
 	return counts
 }
 
 // CountsByIndex draws shots samples and tallies them by basis-state index.
+// The result map is preallocated from the shot count and register width.
 func (s *Sampler) CountsByIndex(shots int) map[uint64]int {
-	stop := obs.StartPhase(s.reg, s.tr, obs.PhaseSample)
-	counts := core.Counts(s.inner, s.rand, shots)
-	stop()
-	s.noteBatch(counts)
+	counts, _ := s.CountsByIndexContext(context.Background(), shots)
 	return counts
 }
 
@@ -438,12 +491,69 @@ func (s *Sampler) CountsContext(ctx context.Context, shots int) (map[string]int,
 
 // CountsByIndexContext is CountsByIndex with cooperative cancellation. On
 // cancellation it returns the partial tallies alongside the context's error.
+//
+// With workers > 1 the batch is drawn by core.CountsParallelContext: a fresh
+// batch seed is split off the sampler's stream (one Uint64 draw, so
+// successive parallel batches differ but remain a pure function of the
+// sampler seed), worker k samples from rng.Stream(batchSeed, k), and the
+// per-worker tallies are merged without intermediate allocations. With
+// workers == 1 every shot comes from the sampler's own sequential stream,
+// bit-for-bit identical to the historical behavior.
 func (s *Sampler) CountsByIndexContext(ctx context.Context, shots int) (map[uint64]int, error) {
 	stop := obs.StartPhase(s.reg, s.tr, obs.PhaseSample)
-	counts, err := core.CountsContext(ctx, s.inner, s.rand, shots)
+	var counts map[uint64]int
+	var err error
+	if s.workers > 1 && shots > 1 {
+		// All facade samplers are safe for concurrent use: the frozen DD
+		// snapshot is immutable and the vector-family samplers are read-only
+		// after construction.
+		batchSeed := s.rand.Uint64()
+		var ws []core.WorkerStat
+		counts, ws, err = core.CountsParallelContext(ctx, s.inner, batchSeed, shots, s.workers)
+		s.noteWorkers(ws)
+	} else {
+		start := time.Now()
+		counts, err = core.CountsContext(ctx, s.inner, s.rand, shots)
+		s.observeBatchWalk(time.Since(start), counts)
+	}
 	stop()
 	s.noteBatch(counts)
 	return counts, err
+}
+
+// noteWorkers records per-worker batch statistics: the worker count gauge
+// and each worker's mean per-shot walk time into the walk histogram.
+func (s *Sampler) noteWorkers(ws []core.WorkerStat) {
+	if s.reg == nil {
+		return
+	}
+	s.reg.Gauge("sample_workers").Set(int64(len(ws)))
+	if s.walkHist == nil {
+		return
+	}
+	for _, w := range ws {
+		if w.Shots > 0 {
+			s.walkHist.ObserveDuration(w.Elapsed / time.Duration(w.Shots))
+		}
+	}
+}
+
+// observeBatchWalk folds a sequential batch's mean per-shot time into the
+// walk histogram (per-shot wall-clocking would distort the hot loop).
+func (s *Sampler) observeBatchWalk(elapsed time.Duration, counts map[uint64]int) {
+	if s.walkHist == nil {
+		return
+	}
+	var drawn int
+	for _, n := range counts {
+		drawn += n
+	}
+	if drawn > 0 {
+		s.walkHist.ObserveDuration(elapsed / time.Duration(drawn))
+	}
+	if s.reg != nil {
+		s.reg.Gauge("sample_workers").Set(1)
+	}
 }
 
 // noteBatch accounts a batch drawn through the core helpers (which bypass
