@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: weaksim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSampleFrozen/qft_16/fast-8        200000   261.5 ns/op
+BenchmarkSampleFrozen/qft_16/fast-8        200000   255.0 ns/op
+BenchmarkSampleFrozen/qft_16/fast-8        200000   270.9 ns/op
+BenchmarkSampleFrozen/jellium_2x2/fast     200000    96.03 ns/op
+BenchmarkSampleLive/qft_16/fast-8          200000   271.3 ns/op
+PASS
+ok   weaksim 2.918s
+`
+
+func TestParseBenchMinOf(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput), foldMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	// Repeated rows fold to the minimum; the -8 suffix is stripped.
+	if ns := got["BenchmarkSampleFrozen/qft_16/fast"]; ns != 255.0 {
+		t.Fatalf("min-of = %v, want 255.0", ns)
+	}
+	if ns := got["BenchmarkSampleFrozen/jellium_2x2/fast"]; ns != 96.03 {
+		t.Fatalf("jellium = %v, want 96.03", ns)
+	}
+}
+
+func TestParseBenchMaxOf(t *testing.T) {
+	// The baseline side keeps the slowest committed repetition.
+	got, err := parseBench(strings.NewReader(sampleOutput), foldMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns := got["BenchmarkSampleFrozen/qft_16/fast"]; ns != 270.9 {
+		t.Fatalf("max-of = %v, want 270.9", ns)
+	}
+	if ns := got["BenchmarkSampleFrozen/jellium_2x2/fast"]; ns != 96.03 {
+		t.Fatalf("single row = %v, want 96.03", ns)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := map[string]float64{
+		"BenchmarkSampleFrozen/a": 100,
+		"BenchmarkSampleFrozen/b": 100,
+		"BenchmarkSampleLive/x":   100,
+	}
+	cur := map[string]float64{
+		"BenchmarkSampleFrozen/a": 120, // within 25%
+		"BenchmarkSampleFrozen/b": 130, // regressed
+		"BenchmarkSampleFrozen/c": 999, // no baseline -> skipped
+		"BenchmarkSampleLive/x":   500, // filtered out by match
+	}
+	rows := compare(base, cur, "BenchmarkSampleFrozen", 0.25)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3: %+v", len(rows), rows)
+	}
+	byName := map[string]row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if byName["BenchmarkSampleFrozen/a"].Regressed {
+		t.Fatal("a flagged despite being within tolerance")
+	}
+	if !byName["BenchmarkSampleFrozen/b"].Regressed {
+		t.Fatal("b not flagged at 30% slowdown")
+	}
+	if !byName["BenchmarkSampleFrozen/c"].Missing {
+		t.Fatal("c should be marked missing from baseline")
+	}
+
+	var buf bytes.Buffer
+	if err := report(&buf, rows, 0.25); err == nil {
+		t.Fatal("report did not fail with a regression present")
+	}
+	out := buf.String()
+	for _, want := range []string{"ok   BenchmarkSampleFrozen/a", "FAIL BenchmarkSampleFrozen/b", "SKIP BenchmarkSampleFrozen/c"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportNeedsComparableRows(t *testing.T) {
+	var buf bytes.Buffer
+	if err := report(&buf, nil, 0.25); err == nil {
+		t.Fatal("empty row set must fail the gate")
+	}
+	onlyMissing := []row{{Name: "BenchmarkSampleFrozen/new", Cur: 10, Missing: true}}
+	if err := report(&buf, onlyMissing, 0.25); err == nil {
+		t.Fatal("all-missing row set must fail the gate")
+	}
+}
+
+func TestRunWithInputFile(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.txt")
+	input := filepath.Join(dir, "cur.txt")
+	if err := os.WriteFile(baseline, []byte(
+		"BenchmarkSampleFrozen/a 1000 100.0 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errBuf bytes.Buffer
+	// Pass: 10% slower is inside the default tolerance.
+	if err := os.WriteFile(input, []byte(
+		"BenchmarkSampleFrozen/a 1000 110.0 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-baseline", baseline, "-input", input}, &out, &errBuf); err != nil {
+		t.Fatalf("within-tolerance run failed: %v\n%s", err, out.String())
+	}
+
+	// Fail: 50% slower trips the gate.
+	if err := os.WriteFile(input, []byte(
+		"BenchmarkSampleFrozen/a 1000 150.0 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-baseline", baseline, "-input", input}, &out, &errBuf); err == nil {
+		t.Fatal("50% regression passed the gate")
+	}
+
+	// Missing baseline file is a clean error, not a panic.
+	if err := run([]string{"-baseline", filepath.Join(dir, "nope.txt"), "-input", input}, &out, &errBuf); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+
+	// The asymmetric fold: baseline keeps its slowest row (120), the
+	// current run its fastest (140) — 1.17x, inside the gate even though
+	// 140 vs the baseline's best row would be 1.40x.
+	if err := os.WriteFile(baseline, []byte(
+		"BenchmarkSampleFrozen/a 1000 100.0 ns/op\n"+
+			"BenchmarkSampleFrozen/a 1000 120.0 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(input, []byte(
+		"BenchmarkSampleFrozen/a 1000 160.0 ns/op\n"+
+			"BenchmarkSampleFrozen/a 1000 140.0 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-baseline", baseline, "-input", input}, &out, &errBuf); err != nil {
+		t.Fatalf("min-vs-max comparison failed: %v\n%s", err, out.String())
+	}
+}

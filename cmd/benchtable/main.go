@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -140,6 +141,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Resolve (and probe) the JSON output path up front: a doomed -json-out
+	// must fail before hours of benchmarking, not after, and an "auto" name
+	// is pinned at startup so the announced target matches the file written.
+	jsonPath, err := resolveJSONOut(*jsonOut, time.Now())
+	if err != nil {
+		return err
+	}
 
 	fmt.Printf("Table I reproduction: error-free sampling of %d bitstrings (seed %d, norm %s)\n",
 		*shots, *seed, normScheme)
@@ -182,17 +190,46 @@ func run() error {
 		}
 		doc.Rows = append(doc.Rows, row)
 	}
-	if *jsonOut != "" {
-		path := *jsonOut
-		if path == "auto" {
-			path = fmt.Sprintf("BENCH_%s.json", time.Now().Format("20060102T150405"))
-		}
-		if err := writeJSON(path, &doc); err != nil {
+	if jsonPath != "" {
+		if err := writeJSON(jsonPath, &doc); err != nil {
 			return err
 		}
-		fmt.Printf("\nwrote %s (%d rows)\n", path, len(doc.Rows))
+		fmt.Printf("\nwrote %s (%d rows)\n", jsonPath, len(doc.Rows))
 	}
 	return nil
+}
+
+// resolveJSONOut turns the -json-out argument into a concrete file path at
+// startup. A basename of "auto" expands to BENCH_<timestamp>.json inside the
+// requested directory (so "results/auto" lands in results/, not in a file
+// literally named "auto"). The target directory is validated and probed for
+// writability immediately — an unwritable destination fails the run before
+// any benchmarking happens.
+func resolveJSONOut(arg string, now time.Time) (string, error) {
+	if arg == "" {
+		return "", nil
+	}
+	path := arg
+	if filepath.Base(path) == "auto" {
+		path = filepath.Join(filepath.Dir(path), fmt.Sprintf("BENCH_%s.json", now.Format("20060102T150405")))
+	}
+	dir := filepath.Dir(path)
+	info, err := os.Stat(dir)
+	if err != nil {
+		return "", fmt.Errorf("-json-out directory: %w", err)
+	}
+	if !info.IsDir() {
+		return "", fmt.Errorf("-json-out: %s is not a directory", dir)
+	}
+	probe, err := os.CreateTemp(dir, ".benchtable-probe-*")
+	if err != nil {
+		return "", fmt.Errorf("-json-out directory %s is not writable: %w", dir, err)
+	}
+	probe.Close()
+	if err := os.Remove(probe.Name()); err != nil {
+		return "", fmt.Errorf("-json-out probe cleanup: %w", err)
+	}
+	return path, nil
 }
 
 func writeJSON(path string, doc *benchDoc) error {

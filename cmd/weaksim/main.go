@@ -65,9 +65,9 @@ func exitCode(err error) int {
 	switch {
 	case err == nil:
 		return exitOK
-	case errors.Is(err, weaksim.ErrMemoryOut), errors.Is(err, weaksim.ErrNodeBudget):
+	case weaksim.IsMemoryOut(err):
 		return exitMO
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+	case weaksim.IsTimeout(err):
 		return exitTimeout
 	case errors.Is(err, errUsage):
 		return exitUsage

@@ -102,7 +102,7 @@ func TestRunTimeoutExit4(t *testing.T) {
 
 func TestRunUsageErrors(t *testing.T) {
 	cases := [][]string{
-		{},                          // neither -bench nor -qasm
+		{}, // neither -bench nor -qasm
 		{"-bench", "x", "-qasm", "y"},
 		{"-bench", "qft_8", "-method", "nope"},
 		{"-no-such-flag"},

@@ -1,0 +1,123 @@
+// Command weaksimd is the sampling daemon: weak simulation as a service.
+// It accepts circuits over HTTP/JSON (OpenQASM 2.0 source or named
+// benchmark circuits) and returns measurement counts, caching frozen state
+// snapshots so each distinct circuit is strongly simulated at most once and
+// every further request costs only O(n)-per-shot lock-free sampling.
+//
+// Usage:
+//
+//	weaksimd -addr :8080
+//	weaksimd -addr :8080 -dd-node-budget 2000000 -cache-bytes 268435456
+//	weaksimd -addr :8080 -debug-addr localhost:6060   # /metrics + pprof
+//
+// Example session:
+//
+//	curl -s localhost:8080/v1/sample -d '{"circuit":"qft_16","shots":1000,"seed":7}'
+//	curl -s localhost:8080/v1/sample -d '{"qasm":"OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];","shots":100}'
+//	curl -s localhost:8080/v1/stats
+//
+// Status codes mirror the resource-governance ladder: 507 when the DD node
+// budget is exceeded (the paper's MO), 504 on a blown deadline (TO), 429
+// with Retry-After when the simulation admission queue is full, 503 while
+// draining. SIGINT/SIGTERM trigger a graceful drain bounded by
+// -drain-timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"weaksim/internal/dd"
+	"weaksim/internal/obs"
+	"weaksim/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, nil, nil); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "weaksimd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable daemon body. ready, when non-nil, receives the running
+// server once it is up (tests use it to learn the bound address); stopCh,
+// when non-nil, triggers the same graceful drain a SIGTERM would (tests
+// cannot safely signal the shared test process).
+func run(args []string, stdout, stderr io.Writer, ready chan<- *serve.Server, stopCh <-chan struct{}) error {
+	fs := flag.NewFlagSet("weaksimd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address (\":0\" = ephemeral)")
+		debugAddr  = fs.String("debug-addr", "", "optional debug server address (/metrics, /metrics.json, expvar, pprof)")
+		norm       = fs.String("norm", "l2phase", "DD normalization scheme: left, l2, or l2phase")
+		nodeBudget = fs.Int("dd-node-budget", 0, "max live DD nodes per simulation; overruns return HTTP 507 (0 = unlimited)")
+		cacheBytes = fs.Int64("cache-bytes", serve.DefaultCacheBytes, "frozen-snapshot LRU capacity in bytes")
+		queueDepth = fs.Int("queue", serve.DefaultQueueDepth, "simulation admission queue depth; a full queue returns HTTP 429")
+		simWorkers = fs.Int("sim-workers", 0, "strong-simulation worker pool size (0 = GOMAXPROCS)")
+		maxWorkers = fs.Int("max-sample-workers", 0, "per-request sampling worker cap (0 = GOMAXPROCS)")
+		maxShots   = fs.Int("max-shots", serve.DefaultMaxShots, "per-request shot cap")
+		timeout    = fs.Duration("timeout", serve.DefaultRequestTimeout, "per-request deadline; blown deadlines return HTTP 504")
+		drain      = fs.Duration("drain-timeout", 15*time.Second, "graceful drain window after SIGTERM/SIGINT")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	normScheme, err := dd.ParseNorm(*norm)
+	if err != nil {
+		return err
+	}
+
+	srv := serve.New(serve.Config{
+		Addr:             *addr,
+		DebugAddr:        *debugAddr,
+		Norm:             normScheme,
+		NodeBudget:       *nodeBudget,
+		CacheBytes:       *cacheBytes,
+		QueueDepth:       *queueDepth,
+		SimWorkers:       *simWorkers,
+		MaxSampleWorkers: *maxWorkers,
+		MaxShots:         *maxShots,
+		RequestTimeout:   *timeout,
+		Metrics:          obs.NewRegistry(),
+	})
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "weaksimd: listening on %s (norm %s, node budget %d, cache %d bytes)\n",
+		srv.Addr(), normScheme, *nodeBudget, *cacheBytes)
+	if *debugAddr != "" {
+		fmt.Fprintf(stdout, "weaksimd: debug server on %s\n", *debugAddr)
+	}
+	if ready != nil {
+		ready <- srv
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case <-stopCh:
+	}
+	stop()
+	fmt.Fprintf(stdout, "weaksimd: draining (up to %v)...\n", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(stdout, "weaksimd: bye")
+	return nil
+}

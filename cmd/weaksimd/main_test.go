@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"weaksim/internal/serve"
+)
+
+func TestRunServesAndDrains(t *testing.T) {
+	ready := make(chan *serve.Server, 1)
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	var out, errBuf bytes.Buffer
+	go func() {
+		errc <- run([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "5s"},
+			&out, &errBuf, ready, stop)
+	}()
+	var srv *serve.Server
+	select {
+	case srv = <-ready:
+	case err := <-errc:
+		t.Fatalf("run exited early: %v (stderr: %s)", err, errBuf.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	resp, err := http.Post("http://"+srv.Addr()+"/v1/sample", "application/json",
+		strings.NewReader(`{"circuit":"ghz_2","shots":32,"seed":3}`))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	var body struct {
+		Counts map[string]int `json:"counts"`
+		Cached bool           `json:"cached"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	total := 0
+	for bits, n := range body.Counts {
+		if bits != "00" && bits != "11" {
+			t.Fatalf("impossible GHZ bitstring %q", bits)
+		}
+		total += n
+	}
+	if total != 32 {
+		t.Fatalf("counts sum to %d, want 32", total)
+	}
+
+	close(stop)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+	for _, want := range []string{"listening on", "draining", "bye"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-norm", "bogus"}, &out, &errBuf, nil, nil); err == nil {
+		t.Fatal("bad -norm accepted")
+	}
+	if err := run([]string{"positional"}, &out, &errBuf, nil, nil); err == nil {
+		t.Fatal("positional argument accepted")
+	}
+	if err := run([]string{"-addr", "definitely:not:an:addr"}, &out, &errBuf, nil, nil); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}

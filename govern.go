@@ -41,6 +41,21 @@ var ErrNodeBudget = dd.ErrNodeBudget
 // instead of panicking.
 var ErrInvalidOp = statevec.ErrInvalidOp
 
+// IsMemoryOut reports whether err is a resource-exhaustion failure: either
+// the dense backend's ErrMemoryOut or the DD backend's ErrNodeBudget — the
+// paper's "MO" class. cmd/weaksim maps it to exit code 3 and the weaksimd
+// daemon to HTTP 507 Insufficient Storage.
+func IsMemoryOut(err error) bool {
+	return errors.Is(err, ErrMemoryOut) || errors.Is(err, ErrNodeBudget)
+}
+
+// IsTimeout reports whether err is a deadline or cancellation failure — the
+// paper's "TO" class. cmd/weaksim maps it to exit code 4 and the weaksimd
+// daemon to HTTP 504 Gateway Timeout.
+func IsTimeout(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
 // RunReport describes what a governed simulation actually did: which
 // backend produced the state, which fallbacks were taken on the way, and
 // what the run cost.

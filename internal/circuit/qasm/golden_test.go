@@ -1,0 +1,134 @@
+package qasm
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current parser output")
+
+// TestGoldenCorpus parses every testdata/golden/*.qasm fixture and compares
+// the rendered circuit against its committed .golden twin. Run
+//
+//	go test ./internal/circuit/qasm -run TestGoldenCorpus -update
+//
+// to regenerate the goldens after an intentional parser or renderer change;
+// the diff in review then shows exactly what changed semantically.
+func TestGoldenCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "golden", "*.qasm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no golden fixtures found")
+	}
+	for _, file := range files {
+		name := strings.TrimSuffix(filepath.Base(file), ".qasm")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			circ, err := Parse(string(src), name)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if err := circ.Validate(); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			got := renderHeader(circ.NQubits, len(circ.Ops)) + circ.Render()
+			goldenPath := strings.TrimSuffix(file, ".qasm") + ".golden"
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("rendered circuit diverges from %s (re-run with -update if intentional)\n--- got ---\n%s--- want ---\n%s",
+					goldenPath, got, want)
+			}
+		})
+	}
+}
+
+// renderHeader prefixes the golden with the parsed circuit's shape, so a
+// change in width or op count is visible even when the drawing is subtle.
+func renderHeader(qubits, ops int) string {
+	return fmt.Sprintf("qubits: %d\nops: %d\n", qubits, ops)
+}
+
+// TestGoldenRoundTrip writes each parsed golden circuit back to QASM and
+// re-parses it: the second parse must reproduce the first rendering, pinning
+// Parse and Write as inverses over the whole corpus.
+func TestGoldenRoundTrip(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "golden", "*.qasm"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("glob: %v (%d files)", err, len(files))
+	}
+	for _, file := range files {
+		name := strings.TrimSuffix(filepath.Base(file), ".qasm")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, err := Parse(string(src), name)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			out, err := Write(first)
+			if err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			second, err := Parse(out, name)
+			if err != nil {
+				t.Fatalf("re-parse of written QASM: %v\n%s", err, out)
+			}
+			if a, b := first.Render(), second.Render(); a != b {
+				t.Errorf("round trip changed the circuit\n--- first ---\n%s--- second ---\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestErrorFixtures feeds each testdata/err_*.qasm fixture to the parser and
+// requires a failure whose message contains the fixture's `// want:` header.
+func TestErrorFixtures(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "err_*.qasm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no error fixtures found")
+	}
+	for _, file := range files {
+		name := strings.TrimSuffix(filepath.Base(file), ".qasm")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, _, _ := strings.Cut(string(src), "\n")
+			want := strings.TrimSpace(strings.TrimPrefix(first, "// want:"))
+			if want == "" || want == first {
+				t.Fatalf("fixture %s must start with a `// want: <substring>` line", file)
+			}
+			_, perr := Parse(string(src), name)
+			if perr == nil {
+				t.Fatalf("fixture parsed successfully; want error containing %q", want)
+			}
+			if !strings.Contains(perr.Error(), want) {
+				t.Errorf("error %q does not contain %q", perr.Error(), want)
+			}
+		})
+	}
+}

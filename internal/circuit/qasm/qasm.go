@@ -85,7 +85,13 @@ func (p *parser) statement(s string) error {
 		p.sawHdr = true
 		return nil
 	case strings.HasPrefix(s, "include"):
-		return nil // qelib1.inc is built in
+		// The qelib1 gate set is built in, so includes are not read — but
+		// the statement must still be well-formed: a quoted file name.
+		arg := strings.TrimSpace(strings.TrimPrefix(s, "include"))
+		if len(arg) < 2 || arg[0] != '"' || arg[len(arg)-1] != '"' {
+			return p.errf(`malformed include %q: want include "file"`, arg)
+		}
+		return nil
 	case strings.HasPrefix(s, "qreg "):
 		return p.declare(strings.TrimPrefix(s, "qreg "))
 	case strings.HasPrefix(s, "creg "):

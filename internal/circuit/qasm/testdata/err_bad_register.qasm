@@ -1,0 +1,5 @@
+// want: unknown register
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h r[0];

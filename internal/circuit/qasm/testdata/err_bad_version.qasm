@@ -1,0 +1,4 @@
+// want: unsupported OPENQASM version
+OPENQASM 3.0;
+qreg q[1];
+h q[0];

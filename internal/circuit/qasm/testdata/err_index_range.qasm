@@ -1,0 +1,5 @@
+// want: out of range
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+cx q[0],q[2];

@@ -1,0 +1,5 @@
+// want: malformed include
+OPENQASM 2.0;
+include qelib1.inc;
+qreg q[1];
+h q[0];

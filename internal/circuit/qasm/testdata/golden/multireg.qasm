@@ -1,0 +1,13 @@
+// Two quantum registers concatenated in declaration order; a[1] is qubit 1,
+// b[0] is qubit 2. Barriers are kept as rendering hints.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg a[2];
+qreg b[2];
+creg m[4];
+h a[0];
+cx a[0],a[1];
+barrier a;
+cx a[1],b[0];
+ccx a[0],b[0],b[1];
+measure a -> m;

@@ -1,0 +1,16 @@
+// Parameterized single-qubit rotations plus their controlled forms,
+// exercising the expression evaluator (pi arithmetic, negatives, nesting).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+rx(pi/3) q[0];
+ry(-pi/7) q[1];
+rz(0.5) q[2];
+p(2*pi/5) q[0];
+u2(0,pi) q[1];
+u3(pi/2,-pi/4,pi/4) q[2];
+crz(pi/16) q[0],q[1];
+cp(-pi/8) q[1],q[2];
+sdg q[0];
+tdg q[1];
+sx q[2];

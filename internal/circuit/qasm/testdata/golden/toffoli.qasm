@@ -1,0 +1,12 @@
+// Multi-controlled gates: Toffoli, doubly-controlled Z, and the
+// controlled-swap expansion (three Toffolis).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+x q[0];
+h q[1];
+ccx q[0],q[1],q[2];
+ccz q[0],q[1],q[2];
+cswap q[0],q[1],q[2];
+cy q[0],q[1];
+ch q[1],q[2];

@@ -282,13 +282,22 @@ type SnapshotStats struct {
 	Generic bool
 }
 
+// Bytes approximates the resident size of the snapshot's flat arrays in
+// bytes. It is the unit the serving layer's snapshot LRU accounts cache
+// capacity in: an admitted snapshot charges exactly Bytes against the cache
+// budget, and evictions release the same amount. The estimate is intentional
+// arithmetic over the slice lengths (no unsafe.Sizeof walking), so it is
+// stable across architectures and cheap enough to call on every admission.
+func (s *Snapshot) Bytes() int {
+	const nodeBytes = 8 + 8 + 32 + 4 + 4 // Kid + P0 + W + V + padding
+	return len(s.nodes)*nodeBytes + len(s.down)*8 + len(s.up)*8 + len(s.origins)*8
+}
+
 // Stats returns size statistics for the snapshot.
 func (s *Snapshot) Stats() SnapshotStats {
-	const nodeBytes = 8 + 8 + 32 + 4 + 4 // Kid + P0 + W + V + padding
-	n := len(s.nodes)
 	return SnapshotStats{
-		Nodes:   n,
-		Bytes:   n*nodeBytes + len(s.down)*8 + len(s.up)*8 + len(s.origins)*8,
+		Nodes:   len(s.nodes),
+		Bytes:   s.Bytes(),
 		Generic: s.generic,
 	}
 }

@@ -24,6 +24,14 @@ const (
 	PhaseAnnotateUp   = "annotate-upstream"
 	PhaseSample       = "sample"
 	PhaseGovern       = "govern"
+
+	// Serving phases (internal/serve): PhaseParse covers request decoding
+	// and QASM parsing, PhaseQueue the time a simulation job waits in the
+	// bounded admission queue before a worker picks it up, and PhaseServe
+	// whole-request handling on the daemon.
+	PhaseParse = "parse"
+	PhaseQueue = "queue"
+	PhaseServe = "serve"
 )
 
 // Event is one structured trace record. Span events carry a duration; point

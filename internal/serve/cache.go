@@ -1,0 +1,230 @@
+package serve
+
+// Snapshot LRU with single-flight admission.
+//
+// The cache is the heart of sampling-as-a-service: the expensive operation
+// (strong simulation + freeze) runs at most once per canonical circuit, and
+// every subsequent request for the same circuit is served by lock-free walks
+// over the cached immutable dd.Snapshot — zero DD work, no possibility of
+// hitting the node budget (the paper's "compile once, sample in O(n)"
+// economics, Hillmich/Markov/Wille DAC 2020, turned into a serving contract).
+//
+// Capacity is accounted in bytes (dd.Snapshot.Bytes), not entries: a cached
+// supremacy state can be five orders of magnitude bigger than a GHZ state,
+// so entry-count bounds would be meaningless. Eviction is strict LRU.
+//
+// Single-flight: concurrent misses on one key elect exactly one leader; the
+// leader runs the compute function while every follower (and the leader)
+// waits on the flight's done channel under its own request context. Failed
+// computes are never cached — the flight propagates the error to everyone
+// who joined it and the next request starts a fresh flight.
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"weaksim/internal/core"
+	"weaksim/internal/dd"
+	"weaksim/internal/obs"
+)
+
+// entry is one cached frozen circuit: the immutable snapshot plus the
+// ready-to-walk sampler over it (FrozenSampler is safe for any number of
+// concurrent walkers, so one instance serves all requests).
+type entry struct {
+	key     string
+	sampler *core.FrozenSampler
+	qubits  int
+	bytes   int64
+	simNS   int64 // wall-clock cost of the strong simulation + freeze that built it
+}
+
+// flight is one in-progress compute, shared by every request that missed on
+// the same key while it ran.
+type flight struct {
+	done chan struct{} // closed when ent/err are final
+	ent  *entry
+	err  error
+}
+
+// snapCache is the byte-bounded snapshot LRU. All methods are safe for
+// concurrent use.
+type snapCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List               // front = most recently used; values are *entry
+	elems    map[string]*list.Element // key -> list element
+	flights  map[string]*flight
+
+	// Telemetry (nil-safe: a nil registry yields nil metrics whose methods
+	// are no-ops).
+	hits      *obs.Counter
+	misses    *obs.Counter
+	coalesced *obs.Counter
+	evictions *obs.Counter
+	gBytes    *obs.Gauge
+	gEntries  *obs.Gauge
+	gFlights  *obs.Gauge
+}
+
+func newSnapCache(maxBytes int64, reg *obs.Registry) *snapCache {
+	return &snapCache{
+		maxBytes:  maxBytes,
+		ll:        list.New(),
+		elems:     make(map[string]*list.Element),
+		flights:   make(map[string]*flight),
+		hits:      reg.Counter("serve_cache_hits_total"),
+		misses:    reg.Counter("serve_cache_misses_total"),
+		coalesced: reg.Counter("serve_cache_coalesced_total"),
+		evictions: reg.Counter("serve_cache_evictions_total"),
+		gBytes:    reg.Gauge("serve_cache_bytes"),
+		gEntries:  reg.Gauge("serve_cache_entries"),
+		gFlights:  reg.Gauge("serve_cache_flights"),
+	}
+}
+
+// computeFunc builds the entry for a key on a cache miss. It runs on exactly
+// one goroutine per flight (the admission queue's simulation worker).
+type computeFunc func() (*entry, error)
+
+// getOrCompute returns the entry for key, serving it from the cache when
+// possible. On a miss the submit function is called exactly once (across all
+// concurrent callers) to schedule compute; everyone then waits for the
+// flight to finish or for their own ctx to expire — a context expiry
+// abandons the wait, not the flight, so a slow client cannot kill a
+// simulation other clients are waiting on.
+//
+// The returned bool reports whether the entry was served from the cache
+// without joining a flight (a true cache hit).
+func (c *snapCache) getOrCompute(ctx context.Context, key string, submit func(*flight) error) (*entry, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.elems[key]; ok {
+		c.ll.MoveToFront(el)
+		ent := el.Value.(*entry)
+		c.mu.Unlock()
+		c.hits.Inc()
+		return ent, true, nil
+	}
+	if fl, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		c.coalesced.Inc()
+		return c.wait(ctx, fl)
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.flights[key] = fl
+	c.gFlights.Set(int64(len(c.flights)))
+	c.mu.Unlock()
+	c.misses.Inc()
+
+	if err := submit(fl); err != nil {
+		// The admission queue rejected the job (queue full / draining): the
+		// flight never ran. Resolve it with the rejection so concurrent
+		// joiners are released, and clear it so the next request retries.
+		c.finish(key, fl, nil, err)
+		return nil, false, err
+	}
+	return c.wait(ctx, fl)
+}
+
+// run executes compute for a flight and publishes the result. Called by the
+// simulation worker that dequeued the job.
+func (c *snapCache) run(key string, fl *flight, compute computeFunc) {
+	ent, err := compute()
+	c.finish(key, fl, ent, err)
+}
+
+// finish resolves a flight: successful entries are admitted to the LRU,
+// failures are propagated without caching.
+func (c *snapCache) finish(key string, fl *flight, ent *entry, err error) {
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.gFlights.Set(int64(len(c.flights)))
+	if err == nil && ent != nil {
+		c.admit(ent)
+	}
+	c.mu.Unlock()
+	fl.ent, fl.err = ent, err
+	close(fl.done)
+}
+
+// admit inserts an entry and evicts LRU entries until the byte budget holds.
+// Caller holds c.mu. Entries larger than the whole budget are still admitted
+// (they evict everything else): rejecting them would make their circuits
+// uncacheable and re-simulate on every request, which is strictly worse.
+func (c *snapCache) admit(ent *entry) {
+	if old, ok := c.elems[ent.key]; ok {
+		// Two flights for one key cannot overlap, but an entry can race a
+		// manual invalidation; keep the freshest.
+		c.bytes -= old.Value.(*entry).bytes
+		c.ll.Remove(old)
+		delete(c.elems, ent.key)
+	}
+	c.elems[ent.key] = c.ll.PushFront(ent)
+	c.bytes += ent.bytes
+	for c.maxBytes > 0 && c.bytes > c.maxBytes && c.ll.Len() > 1 {
+		back := c.ll.Back()
+		victim := back.Value.(*entry)
+		c.ll.Remove(back)
+		delete(c.elems, victim.key)
+		c.bytes -= victim.bytes
+		c.evictions.Inc()
+	}
+	c.gBytes.Set(c.bytes)
+	c.gEntries.Set(int64(c.ll.Len()))
+}
+
+// wait blocks until the flight resolves or ctx expires.
+func (c *snapCache) wait(ctx context.Context, fl *flight) (*entry, bool, error) {
+	select {
+	case <-fl.done:
+		return fl.ent, false, fl.err
+	case <-ctx.Done():
+		return nil, false, fmt.Errorf("serve: abandoned wait for simulation: %w", context.Cause(ctx))
+	}
+}
+
+// stats is a point-in-time cache summary for /healthz and /v1/stats.
+type cacheStats struct {
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	MaxBytes  int64  `json:"max_bytes"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Coalesced uint64 `json:"coalesced"`
+	Evictions uint64 `json:"evictions"`
+	InFlight  int    `json:"in_flight"`
+}
+
+func (c *snapCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+		MaxBytes:  c.maxBytes,
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Coalesced: c.coalesced.Value(),
+		Evictions: c.evictions.Value(),
+		InFlight:  len(c.flights),
+	}
+}
+
+// newEntry freezes a simulated state into a cache entry.
+func newEntry(key string, snap *dd.Snapshot, simElapsed time.Duration) (*entry, error) {
+	sampler, err := core.NewFrozenSampler(snap)
+	if err != nil {
+		return nil, err
+	}
+	return &entry{
+		key:     key,
+		sampler: sampler,
+		qubits:  snap.Qubits(),
+		bytes:   int64(snap.Bytes()),
+		simNS:   simElapsed.Nanoseconds(),
+	}, nil
+}

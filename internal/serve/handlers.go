@@ -1,0 +1,338 @@
+package serve
+
+// HTTP surface of the sampling daemon.
+//
+//	POST /v1/sample    {qasm|circuit, shots?, seed?, workers?, timeout_ms?}
+//	                   → {counts, qubits, shots, seed, workers, cached, ...}
+//	GET  /v1/circuits  → named benchmark circuits (internal/algo)
+//	GET  /v1/stats     → cache / queue / request statistics
+//	GET  /healthz      → liveness + summary
+//
+// Errors always carry a structured JSON body:
+//
+//	{"error": {"code": "memory_out", "message": "...", "status": 507}}
+//
+// The governance → status mapping is the degradation ladder of PR 1 pushed
+// through the network boundary: MO → 507, TO → 504, queue-full → 429 with
+// Retry-After, draining → 503.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"weaksim/internal/algo"
+	"weaksim/internal/circuit"
+	"weaksim/internal/circuit/qasm"
+	"weaksim/internal/core"
+	"weaksim/internal/dd"
+	"weaksim/internal/obs"
+	"weaksim/internal/statevec"
+)
+
+// sampleRequest is the POST /v1/sample body. Exactly one of QASM and Circuit
+// must be set.
+type sampleRequest struct {
+	// QASM is OpenQASM 2.0 source for the circuit to sample.
+	QASM string `json:"qasm,omitempty"`
+	// Circuit names an internal/algo benchmark (e.g. "qft_16", "ghz_8").
+	Circuit string `json:"circuit,omitempty"`
+	// Shots is the number of measurement samples (default DefaultShots,
+	// capped at MaxShots).
+	Shots int `json:"shots,omitempty"`
+	// Seed seeds sampling; omitted means 1. Counts are a pure function of
+	// (circuit, seed, shots, workers).
+	Seed *uint64 `json:"seed,omitempty"`
+	// Workers shards the shot batch across concurrent lock-free walkers
+	// over the cached snapshot (default 1, capped at MaxSampleWorkers).
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMS lowers the request deadline below the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// sampleResponse is the POST /v1/sample success body.
+type sampleResponse struct {
+	// Counts maps measured bitstrings (most significant qubit first) to
+	// occurrence counts; values sum to Shots.
+	Counts  map[string]int `json:"counts"`
+	Qubits  int            `json:"qubits"`
+	Shots   int            `json:"shots"`
+	Seed    uint64         `json:"seed"`
+	Workers int            `json:"workers"`
+	// Cached reports whether the frozen snapshot was already resident (no
+	// strong simulation ran for this request, not even a shared one).
+	Cached bool `json:"cached"`
+	// CircuitKey is the canonical circuit hash — the cache key.
+	CircuitKey string `json:"circuit_key"`
+	// SnapshotNodes is the frozen DD size (the paper's "size" column).
+	SnapshotNodes int `json:"snapshot_nodes"`
+	// SimNS is the wall-clock cost of the strong simulation + freeze that
+	// built the snapshot (amortized across every request that reuses it).
+	SimNS int64 `json:"sim_ns"`
+	// SampleNS is this request's sampling wall-clock.
+	SampleNS int64 `json:"sample_ns"`
+}
+
+// errorBody is the structured error envelope of every non-2xx response.
+type errorBody struct {
+	Error errorInfo `json:"error"`
+}
+
+type errorInfo struct {
+	// Code is a stable machine-readable error class: bad_request,
+	// memory_out, timeout, queue_full, draining, internal.
+	Code string `json:"code"`
+	// Message is the human-readable detail.
+	Message string `json:"message"`
+	// Status echoes the HTTP status code.
+	Status int `json:"status"`
+	// RetryAfterMS suggests a backoff for retryable rejections (queue_full).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// retryAfter is the backoff hint attached to 429 responses.
+const retryAfter = time.Second
+
+// Handler returns the daemon's HTTP handler (also useful under httptest).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/sample", s.handleSample)
+	mux.HandleFunc("/v1/circuits", s.handleCircuits)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// classify maps an error to its HTTP status and stable code, mirroring
+// cmd/weaksim's exit codes (MO=3 → 507, TO=4 → 504).
+func classify(err error) (int, string) {
+	switch {
+	case errors.Is(err, dd.ErrNodeBudget), errors.Is(err, statevec.ErrMemoryOut):
+		return http.StatusInsufficientStorage, "memory_out" // 507: the paper's MO
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "timeout" // 504: the paper's TO
+	case errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout, "cancelled"
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests, "queue_full" // 429 + Retry-After
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, "draining"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// badRequest wraps a 400-class error so writeError can classify it.
+type badRequest struct{ err error }
+
+func (b badRequest) Error() string { return b.err.Error() }
+func (b badRequest) Unwrap() error { return b.err }
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	s.reqErrors.Inc()
+	status, code := classify(err)
+	var br badRequest
+	if errors.As(err, &br) {
+		status, code = http.StatusBadRequest, "bad_request"
+	}
+	info := errorInfo{Code: code, Message: err.Error(), Status: status}
+	if status == http.StatusTooManyRequests {
+		info.RetryAfterMS = retryAfter.Milliseconds()
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(retryAfter.Seconds())))
+	}
+	writeJSON(w, status, errorBody{Error: info})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// parseRequest decodes and validates a sample request, returning the circuit
+// and the resolved sampling parameters.
+func (s *Server) parseRequest(r *http.Request) (*circuit.Circuit, *sampleRequest, error) {
+	defer obs.StartPhase(s.cfg.Metrics, s.cfg.Tracer, obs.PhaseParse)()
+	var req sampleRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, nil, badRequest{fmt.Errorf("invalid JSON body: %w", err)}
+	}
+	if (req.QASM == "") == (req.Circuit == "") {
+		return nil, nil, badRequest{errors.New(`exactly one of "qasm" and "circuit" must be set`)}
+	}
+	var circ *circuit.Circuit
+	var err error
+	if req.Circuit != "" {
+		circ, err = algo.Generate(req.Circuit)
+		if err != nil {
+			return nil, nil, badRequest{err}
+		}
+	} else {
+		circ, err = qasm.Parse(req.QASM, "request")
+		if err != nil {
+			return nil, nil, badRequest{err}
+		}
+	}
+	if err := circ.Validate(); err != nil {
+		return nil, nil, badRequest{err}
+	}
+	if circ.NQubits > s.cfg.MaxQubits {
+		return nil, nil, badRequest{fmt.Errorf("circuit has %d qubits; this server accepts at most %d",
+			circ.NQubits, s.cfg.MaxQubits)}
+	}
+	if req.Shots == 0 {
+		req.Shots = s.cfg.DefaultShots
+	}
+	if req.Shots < 1 {
+		return nil, nil, badRequest{fmt.Errorf("shots must be positive, got %d", req.Shots)}
+	}
+	if req.Shots > s.cfg.MaxShots {
+		return nil, nil, badRequest{fmt.Errorf("shots %d exceeds the per-request cap %d", req.Shots, s.cfg.MaxShots)}
+	}
+	if req.Seed == nil {
+		one := uint64(1)
+		req.Seed = &one
+	}
+	if req.Workers == 0 {
+		req.Workers = 1
+	}
+	if req.Workers < 1 || req.Workers > s.cfg.MaxSampleWorkers {
+		return nil, nil, badRequest{fmt.Errorf("workers must be in [1, %d], got %d",
+			s.cfg.MaxSampleWorkers, req.Workers)}
+	}
+	if req.TimeoutMS < 0 {
+		return nil, nil, badRequest{fmt.Errorf("timeout_ms must be non-negative, got %d", req.TimeoutMS)}
+	}
+	return circ, &req, nil
+}
+
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: errorInfo{
+			Code: "method_not_allowed", Message: "use POST", Status: http.StatusMethodNotAllowed}})
+		return
+	}
+	begin := time.Now()
+	s.reqTotal.Inc()
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		s.reqHist.ObserveDuration(time.Since(begin))
+	}()
+	sp := s.cfg.Tracer.Start(obs.PhaseServe, "sample")
+
+	circ, req, err := s.parseRequest(r)
+	if err != nil {
+		sp.End(map[string]any{"error": err.Error()})
+		s.writeError(w, err)
+		return
+	}
+
+	// Per-request deadline: the server default, lowered by timeout_ms.
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	key := CircuitKey(circ, s.cfg.Norm, false)
+	ent, cached, err := s.lookup(ctx, key, circ)
+	if err != nil {
+		sp.End(map[string]any{"error": err.Error(), "key": key})
+		s.writeError(w, err)
+		return
+	}
+
+	// Sampling: lock-free walks over the immutable snapshot, sharded across
+	// the requested worker count. Counts are a pure function of
+	// (circuit, seed, shots, workers) — rerunning the request reproduces
+	// them bit for bit, at any cache temperature.
+	stopSample := obs.StartPhase(s.cfg.Metrics, s.cfg.Tracer, obs.PhaseSample)
+	sampleStart := time.Now()
+	idxCounts, _, err := core.CountsParallelContext(ctx, ent.sampler, *req.Seed, req.Shots, req.Workers)
+	sampleNS := time.Since(sampleStart).Nanoseconds()
+	stopSample()
+	if err != nil {
+		sp.End(map[string]any{"error": err.Error(), "key": key})
+		s.writeError(w, err)
+		return
+	}
+	s.shotsCtr.Add(uint64(req.Shots))
+
+	counts := make(map[string]int, len(idxCounts))
+	for idx, n := range idxCounts {
+		counts[core.FormatBits(idx, ent.qubits)] = n
+	}
+	resp := sampleResponse{
+		Counts:        counts,
+		Qubits:        ent.qubits,
+		Shots:         req.Shots,
+		Seed:          *req.Seed,
+		Workers:       req.Workers,
+		Cached:        cached,
+		CircuitKey:    key,
+		SnapshotNodes: ent.sampler.Snapshot().Len(),
+		SimNS:         ent.simNS,
+		SampleNS:      sampleNS,
+	}
+	sp.End(map[string]any{"key": key, "cached": cached, "shots": req.Shots})
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: errorInfo{
+			Code: "method_not_allowed", Message: "use GET", Status: http.StatusMethodNotAllowed}})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"table1": algo.TableIBenchmarks(),
+	})
+}
+
+// statsResponse is the GET /v1/stats body.
+type statsResponse struct {
+	UptimeMS      int64      `json:"uptime_ms"`
+	Requests      uint64     `json:"requests_total"`
+	Errors        uint64     `json:"errors_total"`
+	Shots         uint64     `json:"shots_total"`
+	Sims          uint64     `json:"sims_total"`
+	QueueDepth    int        `json:"queue_depth"`
+	QueueRejected uint64     `json:"queue_rejected_total"`
+	Cache         cacheStats `json:"cache"`
+}
+
+func (s *Server) statsNow() statsResponse {
+	return statsResponse{
+		UptimeMS:      time.Since(s.start).Milliseconds(),
+		Requests:      s.reqTotal.Value(),
+		Errors:        s.reqErrors.Value(),
+		Shots:         s.shotsCtr.Value(),
+		Sims:          s.pool.sims.Value(),
+		QueueDepth:    s.pool.queued(),
+		QueueRejected: s.pool.rejected.Value(),
+		Cache:         s.cache.stats(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsNow())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"stats":  s.statsNow(),
+	})
+}

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"testing"
+
+	"weaksim/internal/circuit"
+	"weaksim/internal/dd"
+)
+
+func bell(name string) *circuit.Circuit {
+	return circuit.New(2, name).H(0).CX(0, 1)
+}
+
+func TestCircuitKeyIgnoresPresentation(t *testing.T) {
+	a := CircuitKey(bell("one"), dd.NormL2Phase, false)
+	b := CircuitKey(bell("completely-different-name"), dd.NormL2Phase, false)
+	if a != b {
+		t.Fatalf("circuit name changed the key: %s vs %s", a, b)
+	}
+	withBarrier := circuit.New(2, "x").H(0)
+	withBarrier.Barrier()
+	withBarrier.CX(0, 1)
+	if got := CircuitKey(withBarrier, dd.NormL2Phase, false); got != a {
+		t.Fatalf("barrier changed the key: %s vs %s", got, a)
+	}
+}
+
+func TestCircuitKeySensitivity(t *testing.T) {
+	base := CircuitKey(bell("b"), dd.NormL2Phase, false)
+	cases := map[string]string{
+		"different gate":  CircuitKey(circuit.New(2, "b").H(0).CZ(0, 1), dd.NormL2Phase, false),
+		"different width": CircuitKey(circuit.New(3, "b").H(0).CX(0, 1), dd.NormL2Phase, false),
+		"different norm":  CircuitKey(bell("b"), dd.NormLeft, false),
+		"generic flag":    CircuitKey(bell("b"), dd.NormL2Phase, true),
+		"different target": CircuitKey(
+			circuit.New(2, "b").H(1).CX(0, 1), dd.NormL2Phase, false),
+	}
+	for what, key := range cases {
+		if key == base {
+			t.Errorf("%s did not change the key", what)
+		}
+	}
+}
+
+func TestCircuitKeyParamBits(t *testing.T) {
+	a := CircuitKey(circuit.New(1, "p").RZ(0.1, 0), dd.NormL2Phase, false)
+	b := CircuitKey(circuit.New(1, "p").RZ(0.1+1e-18, 0), dd.NormL2Phase, false)
+	c := CircuitKey(circuit.New(1, "p").RZ(0.2, 0), dd.NormL2Phase, false)
+	if a != b {
+		// 0.1+1e-18 rounds to the same float64, so the keys must agree.
+		t.Fatalf("identical float bits hashed differently")
+	}
+	if a == c {
+		t.Fatalf("different rotation angles hashed identically")
+	}
+}
+
+func TestCircuitKeyPermutation(t *testing.T) {
+	p1 := circuit.New(2, "p").Permutation([]uint64{1, 0}, 1, "swap01")
+	p2 := circuit.New(2, "p").Permutation([]uint64{0, 1}, 1, "ident")
+	a := CircuitKey(p1, dd.NormL2Phase, false)
+	b := CircuitKey(p2, dd.NormL2Phase, false)
+	if a == b {
+		t.Fatalf("different permutation tables hashed identically")
+	}
+	// Label is presentation, not semantics.
+	p3 := circuit.New(2, "p").Permutation([]uint64{1, 0}, 1, "other-label")
+	if got := CircuitKey(p3, dd.NormL2Phase, false); got != a {
+		t.Fatalf("permutation label changed the key")
+	}
+}

@@ -1,0 +1,289 @@
+// Package serve turns the weak-simulation pipeline into a long-running
+// sampling service: an HTTP/JSON daemon that accepts circuits (OpenQASM 2.0
+// or named internal/algo benchmarks) and returns measurement counts.
+//
+// The economics follow the paper directly (Hillmich/Markov/Wille, DAC 2020):
+// strong simulation is the expensive one-time pass, and every sample after
+// the freeze costs O(n). That is the shape of a serving workload — compile
+// once, freeze once, answer millions of cheap sample requests — so the
+// daemon is built around a canonical-circuit-hash → frozen-snapshot LRU with
+// single-flight admission (cache.go), a bounded simulation queue with a
+// fixed worker pool (queue.go), and per-request resource governance mapped
+// onto HTTP status codes (handlers.go):
+//
+//	dd.ErrNodeBudget / statevec.ErrMemoryOut → 507 Insufficient Storage ("MO")
+//	context.DeadlineExceeded                 → 504 Gateway Timeout      ("TO")
+//	admission queue full                     → 429 Too Many Requests + Retry-After
+//	draining after SIGTERM                   → 503 Service Unavailable
+//
+// Cached circuits are served entirely from the immutable snapshot by
+// lock-free parallel walks (core.FrozenSampler + core.CountsParallel): no DD
+// work, no node-budget exposure, deterministic counts for a fixed
+// (seed, workers) pair.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"weaksim/internal/circuit"
+	"weaksim/internal/dd"
+	"weaksim/internal/obs"
+	"weaksim/internal/sim"
+)
+
+// Defaults for the zero Config.
+const (
+	DefaultCacheBytes     = 256 << 20 // 256 MiB of frozen snapshots
+	DefaultQueueDepth     = 64
+	DefaultMaxShots       = 10_000_000
+	DefaultShots          = 1024
+	DefaultMaxQubits      = 64 // sample indices are uint64 bitstrings
+	DefaultRequestTimeout = 30 * time.Second
+	DefaultMaxBodyBytes   = 4 << 20
+)
+
+// Config configures a sampling daemon. The zero value serves with the
+// defaults above; Addr ":0" binds an ephemeral port.
+type Config struct {
+	// Addr is the listen address (host:port; ":0" = ephemeral).
+	Addr string
+	// Norm is the DD normalization scheme for strong simulation.
+	Norm dd.Norm
+	// NodeBudget bounds live DD nodes per simulation (0 = unlimited);
+	// overruns surface as HTTP 507.
+	NodeBudget int
+	// CacheBytes bounds the frozen-snapshot LRU (bytes of snapshot arrays,
+	// dd.Snapshot.Bytes). <= 0 selects DefaultCacheBytes.
+	CacheBytes int64
+	// QueueDepth bounds the simulation admission queue; a full queue
+	// rejects with HTTP 429. < 0 disables queueing (every miss needs an
+	// idle worker); 0 selects DefaultQueueDepth.
+	QueueDepth int
+	// SimWorkers is the strong-simulation worker pool size (<= 0 selects
+	// GOMAXPROCS).
+	SimWorkers int
+	// MaxSampleWorkers caps the per-request sampling worker count (<= 0
+	// selects GOMAXPROCS).
+	MaxSampleWorkers int
+	// MaxShots caps per-request shot counts; DefaultShots is used when a
+	// request omits shots.
+	MaxShots     int
+	DefaultShots int
+	// MaxQubits rejects circuits wider than this with HTTP 400 (<= 0
+	// selects DefaultMaxQubits; values above 64 are clamped to 64).
+	MaxQubits int
+	// RequestTimeout is the per-request deadline; requests may lower it
+	// (timeout_ms) but never raise it. Blown deadlines are HTTP 504.
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (<= 0 selects DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// Metrics receives the serve_* metrics plus the usual dd_*/phase_*
+	// series from the simulation workers. nil creates a private registry
+	// (a daemon always wants its own numbers — expose them with DebugAddr).
+	Metrics *obs.Registry
+	// Tracer receives structured serve/queue/govern events. nil disables.
+	Tracer *obs.Tracer
+	// DebugAddr, when non-empty, starts an obs.ServeDebug server (Prometheus
+	// /metrics, /metrics.json, expvar, pprof) on that address.
+	DebugAddr string
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = DefaultCacheBytes
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.SimWorkers <= 0 {
+		c.SimWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxSampleWorkers <= 0 {
+		c.MaxSampleWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxShots <= 0 {
+		c.MaxShots = DefaultMaxShots
+	}
+	if c.DefaultShots <= 0 {
+		c.DefaultShots = DefaultShots
+	}
+	if c.MaxQubits <= 0 || c.MaxQubits > DefaultMaxQubits {
+		c.MaxQubits = DefaultMaxQubits
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	return c
+}
+
+// Server is a running (or startable) sampling daemon.
+type Server struct {
+	cfg   Config
+	cache *snapCache
+	pool  *simPool
+	http  *http.Server
+	ln    net.Listener
+	debug *obs.DebugServer
+	start time.Time
+
+	// baseCtx governs simulation jobs: it outlives individual requests (a
+	// flight is a shared asset) and is cancelled only when a drain deadline
+	// forces shutdown.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	reqTotal  *obs.Counter
+	reqErrors *obs.Counter
+	reqHist   *obs.Histogram
+	inflight  *obs.Gauge
+	shotsCtr  *obs.Counter
+}
+
+// New builds a Server from cfg without binding the listen socket yet.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := cfg.Metrics
+	baseCtx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		cache:     newSnapCache(cfg.CacheBytes, reg),
+		pool:      newSimPool(cfg.SimWorkers, cfg.QueueDepth, reg, cfg.Tracer),
+		baseCtx:   baseCtx,
+		cancel:    cancel,
+		start:     time.Now(),
+		reqTotal:  reg.Counter("serve_requests_total"),
+		reqErrors: reg.Counter("serve_errors_total"),
+		reqHist:   reg.Histogram("serve_request_ns", obs.OpLatencyBounds),
+		inflight:  reg.Gauge("serve_inflight"),
+		shotsCtr:  reg.Counter("serve_shots_total"),
+	}
+	s.http = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return s
+}
+
+// Start binds the configured address and serves in the background until
+// Shutdown. It returns once the listener is bound, so Addr is valid
+// immediately after.
+func (s *Server) Start() error {
+	addr := s.cfg.Addr
+	if addr == "" {
+		addr = ":0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	if s.cfg.DebugAddr != "" {
+		dbg, err := obs.ServeDebug(s.cfg.DebugAddr, s.cfg.Metrics)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("serve: debug server: %w", err)
+		}
+		s.debug = dbg
+	}
+	go func() { _ = s.http.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Metrics returns the daemon's registry (never nil after New).
+func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
+
+// Shutdown drains the daemon gracefully: stop accepting connections, let
+// in-flight requests finish, stop the simulation pool (running jobs observe
+// cancellation only if ctx expires first), and close the debug server. Safe
+// to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.http.Shutdown(ctx)
+	if perr := s.pool.close(ctx); err == nil {
+		err = perr
+	}
+	// After the drain window, abort any still-running simulations.
+	s.cancel()
+	if s.debug != nil {
+		_ = s.debug.Close()
+	}
+	return err
+}
+
+// Close shuts down immediately without draining.
+func (s *Server) Close() error {
+	s.cancel()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+// simulate is the computeFunc body: one strong simulation + freeze under the
+// server's node budget, producing the immutable cache entry. It runs on a
+// simulation worker, governed by the server's base context plus the request
+// deadline budget — not by any single client's context, because the result
+// is shared by every request coalesced onto the flight.
+func (s *Server) simulate(key string, circ *circuit.Circuit) (*entry, error) {
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
+	defer cancel()
+	reg, tr := s.cfg.Metrics, s.cfg.Tracer
+	begin := time.Now()
+
+	stopBuild := obs.StartPhase(reg, tr, obs.PhaseBuild)
+	mgrOpts := []dd.Option{dd.WithNormalization(s.cfg.Norm)}
+	if s.cfg.NodeBudget > 0 {
+		mgrOpts = append(mgrOpts, dd.WithNodeBudget(s.cfg.NodeBudget))
+	}
+	ds, err := sim.NewDD(circ,
+		sim.WithManagerOptions(mgrOpts...),
+		sim.WithObservability(reg, tr))
+	stopBuild()
+	if err != nil {
+		return nil, err
+	}
+	stopApply := obs.StartPhase(reg, tr, obs.PhaseApply)
+	edge, err := ds.RunContext(ctx)
+	stopApply()
+	if err != nil {
+		return nil, err
+	}
+	stopFreeze := obs.StartPhase(reg, tr, obs.PhaseFreeze)
+	snap, err := ds.Manager().Freeze(edge)
+	stopFreeze()
+	if err != nil {
+		return nil, err
+	}
+	reg.Gauge("snapshot_nodes").Set(int64(snap.Len()))
+	reg.Gauge("snapshot_bytes").Set(int64(snap.Bytes()))
+	return newEntry(key, snap, time.Since(begin))
+}
+
+// lookup resolves the cache entry for a circuit: hit, join, or simulate.
+func (s *Server) lookup(ctx context.Context, key string, circ *circuit.Circuit) (*entry, bool, error) {
+	return s.cache.getOrCompute(ctx, key, func(fl *flight) error {
+		return s.pool.submit(func() {
+			s.cache.run(key, fl, func() (*entry, error) {
+				return s.simulate(key, circ)
+			})
+		})
+	})
+}

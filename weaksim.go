@@ -16,6 +16,7 @@ import (
 	"weaksim/internal/gate"
 	"weaksim/internal/obs"
 	"weaksim/internal/rng"
+	"weaksim/internal/serve"
 	"weaksim/internal/statevec"
 )
 
@@ -696,6 +697,84 @@ type Outcome struct {
 	Bits        string
 	Probability float64
 }
+
+// ServeConfig carries the server-side knobs of the sampling daemon (see
+// Serve). Simulation-side options — normalization, node budget, metrics,
+// tracer — are passed as regular Options, so the daemon is configured with
+// exactly the same vocabulary as a library run. Zero fields select the
+// serve package defaults.
+type ServeConfig struct {
+	// Addr is the listen address ("" or ":0" = ephemeral port).
+	Addr string
+	// DebugAddr optionally starts the observability server (/metrics,
+	// /metrics.json, expvar, pprof) on a second address.
+	DebugAddr string
+	// CacheBytes bounds the frozen-snapshot LRU in bytes of snapshot
+	// arrays.
+	CacheBytes int64
+	// QueueDepth bounds the strong-simulation admission queue; a full
+	// queue answers HTTP 429 with Retry-After.
+	QueueDepth int
+	// SimWorkers sizes the strong-simulation worker pool (0 = GOMAXPROCS).
+	SimWorkers int
+	// MaxSampleWorkers caps the per-request sampling worker count
+	// (0 = GOMAXPROCS).
+	MaxSampleWorkers int
+	// MaxShots caps per-request shots; DefaultShots fills in omitted ones.
+	MaxShots     int
+	DefaultShots int
+	// RequestTimeout is the per-request deadline; blown deadlines answer
+	// HTTP 504, the paper's "TO" through the network boundary.
+	RequestTimeout time.Duration
+}
+
+// Daemon is a running sampling-as-a-service instance (see Serve).
+type Daemon struct{ inner *serve.Server }
+
+// Serve starts the weak-simulation sampling daemon: an HTTP/JSON service
+// that accepts OpenQASM 2.0 (or named benchmark circuits) and returns
+// measurement counts. Each distinct circuit is strongly simulated at most
+// once — concurrent first requests are coalesced by a single-flight guard —
+// and the frozen snapshot is kept in a byte-bounded LRU, so warm circuits
+// are served entirely by lock-free O(n)-per-shot walks with zero DD work.
+//
+// Resource governance maps onto status codes: WithNodeBudget overruns
+// answer 507 (the paper's MO), deadlines 504 (TO), a full admission queue
+// 429 with Retry-After. Stop the daemon with Daemon.Shutdown for a graceful
+// drain, or Daemon.Close to stop immediately.
+func Serve(sc ServeConfig, opts ...Option) (*Daemon, error) {
+	cfg := newConfig(opts)
+	srv := serve.New(serve.Config{
+		Addr:             sc.Addr,
+		DebugAddr:        sc.DebugAddr,
+		Norm:             cfg.norm,
+		NodeBudget:       cfg.nodeBudget,
+		CacheBytes:       sc.CacheBytes,
+		QueueDepth:       sc.QueueDepth,
+		SimWorkers:       sc.SimWorkers,
+		MaxSampleWorkers: sc.MaxSampleWorkers,
+		MaxShots:         sc.MaxShots,
+		DefaultShots:     sc.DefaultShots,
+		RequestTimeout:   sc.RequestTimeout,
+		Metrics:          cfg.reg,
+		Tracer:           cfg.tracer,
+	})
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	return &Daemon{inner: srv}, nil
+}
+
+// Addr returns the daemon's bound listen address.
+func (d *Daemon) Addr() string { return d.inner.Addr() }
+
+// Shutdown drains the daemon gracefully: stop accepting requests, let
+// in-flight requests and queued simulations finish (until ctx expires),
+// then release everything.
+func (d *Daemon) Shutdown(ctx context.Context) error { return d.inner.Shutdown(ctx) }
+
+// Close stops the daemon without draining.
+func (d *Daemon) Close() error { return d.inner.Close() }
 
 // TopOutcomes returns the k most probable measurement outcomes exactly, in
 // descending order, via best-first search over the decision diagram — no

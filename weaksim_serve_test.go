@@ -1,0 +1,89 @@
+package weaksim_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"weaksim"
+)
+
+// TestServeFacade starts the sampling daemon through the public facade,
+// samples a named benchmark circuit over HTTP, and drains.
+func TestServeFacade(t *testing.T) {
+	d, err := weaksim.Serve(weaksim.ServeConfig{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer d.Close()
+
+	resp, err := http.Post("http://"+d.Addr()+"/v1/sample", "application/json",
+		strings.NewReader(`{"circuit":"ghz_4","shots":64,"seed":9}`))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	var body struct {
+		Counts map[string]int `json:"counts"`
+		Qubits int            `json:"qubits"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if body.Qubits != 4 {
+		t.Fatalf("qubits=%d, want 4", body.Qubits)
+	}
+	total := 0
+	for bits, n := range body.Counts {
+		if bits != "0000" && bits != "1111" {
+			t.Fatalf("impossible GHZ bitstring %q", bits)
+		}
+		total += n
+	}
+	if total != 64 {
+		t.Fatalf("counts sum to %d, want 64", total)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := d.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestServeFacadeNodeBudget routes the library node-budget Option through
+// the daemon and expects the MO → 507 mapping.
+func TestServeFacadeNodeBudget(t *testing.T) {
+	d, err := weaksim.Serve(weaksim.ServeConfig{Addr: "127.0.0.1:0"},
+		weaksim.WithNodeBudget(2))
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer d.Close()
+	resp, err := http.Post("http://"+d.Addr()+"/v1/sample", "application/json",
+		strings.NewReader(`{"circuit":"qft_8","shots":8}`))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInsufficientStorage {
+		t.Fatalf("status=%d, want 507", resp.StatusCode)
+	}
+	var eb struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if eb.Error.Code != "memory_out" {
+		t.Fatalf("code=%q, want memory_out", eb.Error.Code)
+	}
+}
