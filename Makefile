@@ -20,7 +20,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test fmt-check race race-stress bench bench-frozen bench-gate bench-json cover cover-gate table serve clean
+.PHONY: check build vet test fmt-check race race-stress chaos fuzz-smoke bench bench-frozen bench-gate bench-json cover cover-gate table serve clean
 
 check: vet build test
 
@@ -45,6 +45,21 @@ race:
 # parallel/stress test, three times, under the race detector.
 race-stress:
 	$(GO) test -race -run 'Parallel|Stress|Workers' -count=3 ./...
+
+# Chaos suite: every deterministic fault-injection test (the internal/fault
+# matrix across dd, core, serve, snapstore, and the daemon's kill-and-restart
+# e2e) under the race detector. The fault plan is process-global state
+# flipped mid-test, so the race detector is part of the contract, not an
+# extra.
+chaos:
+	$(GO) test -race -run 'Chaos|Fault' -count=1 ./...
+
+# Short fuzz smoke for CI: the QASM parser fuzzers plus the snapshot binary
+# decoder, ~30s each. Not a soak — just enough to catch a decoder that
+# panics on the corpus neighborhoods of valid inputs.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 30s ./internal/circuit/qasm
+	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime 30s ./internal/dd
 
 # The sampling fast path benchmark watched for regressions (Section IV).
 bench:

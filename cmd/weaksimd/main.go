@@ -9,6 +9,7 @@
 //	weaksimd -addr :8080
 //	weaksimd -addr :8080 -dd-node-budget 2000000 -cache-bytes 268435456
 //	weaksimd -addr :8080 -debug-addr localhost:6060   # /metrics + pprof
+//	weaksimd -addr :8080 -snapshot-dir /var/lib/weaksim  # warm restarts
 //
 // Example session:
 //
@@ -21,6 +22,19 @@
 // with Retry-After when the simulation admission queue is full, 503 while
 // draining. SIGINT/SIGTERM trigger a graceful drain bounded by
 // -drain-timeout.
+//
+// Probes are split: /healthz is liveness (200 for as long as the process
+// answers HTTP, even mid-drain; restart on failure) and /readyz is
+// readiness (503 from the moment a drain begins; stop routing on failure).
+//
+// With -snapshot-dir, every frozen snapshot is also persisted to a
+// crash-safe on-disk store (atomic rename writes, CRC-64 trailer) and
+// loaded back on start, so a restarted daemon answers previously seen
+// circuits without re-running strong simulation. Files failing the CRC or
+// the DD invariant audit are quarantined as *.corrupt and re-simulated.
+//
+// -fault (or $WEAKSIM_FAULT) arms the deterministic fault-injection
+// framework for chaos testing; never set it in production.
 package main
 
 import (
@@ -35,6 +49,7 @@ import (
 	"time"
 
 	"weaksim/internal/dd"
+	"weaksim/internal/fault"
 	"weaksim/internal/obs"
 	"weaksim/internal/serve"
 )
@@ -57,17 +72,20 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- *serve.Server, st
 	fs := flag.NewFlagSet("weaksimd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr       = fs.String("addr", ":8080", "listen address (\":0\" = ephemeral)")
-		debugAddr  = fs.String("debug-addr", "", "optional debug server address (/metrics, /metrics.json, expvar, pprof)")
-		norm       = fs.String("norm", "l2phase", "DD normalization scheme: left, l2, or l2phase")
-		nodeBudget = fs.Int("dd-node-budget", 0, "max live DD nodes per simulation; overruns return HTTP 507 (0 = unlimited)")
-		cacheBytes = fs.Int64("cache-bytes", serve.DefaultCacheBytes, "frozen-snapshot LRU capacity in bytes")
-		queueDepth = fs.Int("queue", serve.DefaultQueueDepth, "simulation admission queue depth; a full queue returns HTTP 429")
-		simWorkers = fs.Int("sim-workers", 0, "strong-simulation worker pool size (0 = GOMAXPROCS)")
-		maxWorkers = fs.Int("max-sample-workers", 0, "per-request sampling worker cap (0 = GOMAXPROCS)")
-		maxShots   = fs.Int("max-shots", serve.DefaultMaxShots, "per-request shot cap")
-		timeout    = fs.Duration("timeout", serve.DefaultRequestTimeout, "per-request deadline; blown deadlines return HTTP 504")
-		drain      = fs.Duration("drain-timeout", 15*time.Second, "graceful drain window after SIGTERM/SIGINT")
+		addr        = fs.String("addr", ":8080", "listen address (\":0\" = ephemeral)")
+		debugAddr   = fs.String("debug-addr", "", "optional debug server address (/metrics, /metrics.json, expvar, pprof)")
+		norm        = fs.String("norm", "l2phase", "DD normalization scheme: left, l2, or l2phase")
+		nodeBudget  = fs.Int("dd-node-budget", 0, "max live DD nodes per simulation; overruns return HTTP 507 (0 = unlimited)")
+		cacheBytes  = fs.Int64("cache-bytes", serve.DefaultCacheBytes, "frozen-snapshot LRU capacity in bytes")
+		queueDepth  = fs.Int("queue", serve.DefaultQueueDepth, "simulation admission queue depth; a full queue returns HTTP 429")
+		simWorkers  = fs.Int("sim-workers", 0, "strong-simulation worker pool size (0 = GOMAXPROCS)")
+		maxWorkers  = fs.Int("max-sample-workers", 0, "per-request sampling worker cap (0 = GOMAXPROCS)")
+		maxShots    = fs.Int("max-shots", serve.DefaultMaxShots, "per-request shot cap")
+		timeout     = fs.Duration("timeout", serve.DefaultRequestTimeout, "per-request deadline; blown deadlines return HTTP 504")
+		drain       = fs.Duration("drain-timeout", 15*time.Second, "graceful drain window after SIGTERM/SIGINT")
+		snapshotDir = fs.String("snapshot-dir", "", "crash-safe snapshot store for warm restarts (empty = in-memory only)")
+		faultSpec   = fs.String("fault", os.Getenv("WEAKSIM_FAULT"), "chaos-testing fault spec, e.g. \"dd.freeze:err@3,snapstore.write:corrupt@1\" (default $WEAKSIM_FAULT)")
+		faultSeed   = fs.Uint64("fault-seed", 1, "deterministic seed for fault byte corruption")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,6 +96,13 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- *serve.Server, st
 	normScheme, err := dd.ParseNorm(*norm)
 	if err != nil {
 		return err
+	}
+	if *faultSpec != "" {
+		if err := fault.Enable(*faultSpec, *faultSeed); err != nil {
+			return err
+		}
+		defer fault.Disable()
+		fmt.Fprintf(stderr, "weaksimd: FAULT INJECTION ARMED: %s (seed %d)\n", *faultSpec, *faultSeed)
 	}
 
 	srv := serve.New(serve.Config{
@@ -91,6 +116,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- *serve.Server, st
 		MaxSampleWorkers: *maxWorkers,
 		MaxShots:         *maxShots,
 		RequestTimeout:   *timeout,
+		SnapshotDir:      *snapshotDir,
 		Metrics:          obs.NewRegistry(),
 	})
 	if err := srv.Start(); err != nil {

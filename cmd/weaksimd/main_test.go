@@ -3,8 +3,13 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -82,5 +87,235 @@ func TestRunFlagErrors(t *testing.T) {
 	}
 	if err := run([]string{"-addr", "definitely:not:an:addr"}, &out, &errBuf, nil, nil); err == nil {
 		t.Fatal("unlistenable address accepted")
+	}
+}
+
+// bootDaemon starts the daemon body with the given extra flags and returns
+// the running server plus a shutdown function that triggers a graceful drain
+// and waits for run to exit.
+func bootDaemon(t *testing.T, extra ...string) (*serve.Server, func()) {
+	t.Helper()
+	ready := make(chan *serve.Server, 1)
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	var out, errBuf bytes.Buffer
+	args := append([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "5s"}, extra...)
+	go func() { errc <- run(args, &out, &errBuf, ready, stop) }()
+	var srv *serve.Server
+	select {
+	case srv = <-ready:
+	case err := <-errc:
+		t.Fatalf("run exited early: %v (stderr: %s)", err, errBuf.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	var once sync.Once
+	shutdown := func() {
+		once.Do(func() { close(stop) })
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not drain")
+		}
+	}
+	return srv, shutdown
+}
+
+func sampleDaemon(t *testing.T, srv *serve.Server, req string) (map[string]int, bool) {
+	t.Helper()
+	resp, err := http.Post("http://"+srv.Addr()+"/v1/sample", "application/json",
+		strings.NewReader(req))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Counts map[string]int `json:"counts"`
+		Cached bool           `json:"cached"`
+	}
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status=%d body=%s", resp.StatusCode, raw)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return body.Counts, body.Cached
+}
+
+func daemonStats(t *testing.T, srv *serve.Server) (sims uint64) {
+	t.Helper()
+	resp, err := http.Get("http://" + srv.Addr() + "/v1/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Sims uint64 `json:"sims_total"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	return st.Sims
+}
+
+// TestRunKillAndRestartWarm is the kill-and-restart e2e: a daemon with a
+// snapshot dir is stopped after simulating a circuit, a second daemon boots
+// on the same dir, and the restarted process answers the same request with
+// bit-for-bit identical counts and zero strong simulations.
+func TestRunKillAndRestartWarm(t *testing.T) {
+	dir := t.TempDir()
+	const req = `{"circuit":"ghz_3","shots":512,"seed":9,"workers":2}`
+
+	srv1, shutdown1 := bootDaemon(t, "-snapshot-dir", dir, "-max-sample-workers", "4")
+	cold, cached := sampleDaemon(t, srv1, req)
+	if cached {
+		t.Fatal("first request reported cached on a cold daemon")
+	}
+	waitForSnapshotFile(t, dir, ".wsnap")
+	shutdown1()
+
+	srv2, shutdown2 := bootDaemon(t, "-snapshot-dir", dir, "-max-sample-workers", "4")
+	defer shutdown2()
+	warm, cached := sampleDaemon(t, srv2, req)
+	if !cached {
+		t.Fatal("restarted daemon did not serve from the warm snapshot store")
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("counts changed across restart:\n  before %v\n  after  %v", cold, warm)
+	}
+	if sims := daemonStats(t, srv2); sims != 0 {
+		t.Fatalf("restarted daemon ran %d strong simulations, want 0", sims)
+	}
+}
+
+// TestRunRestartQuarantinesDamage damages the persisted snapshots on disk
+// between restarts — one truncated, one bit-flipped — and checks the
+// restarted daemon quarantines both as *.corrupt and transparently
+// re-simulates with identical counts.
+func TestRunRestartQuarantinesDamage(t *testing.T) {
+	dir := t.TempDir()
+	reqs := []string{
+		`{"circuit":"ghz_3","shots":256,"seed":5}`,
+		`{"circuit":"ghz_4","shots":256,"seed":5}`,
+	}
+
+	srv1, shutdown1 := bootDaemon(t, "-snapshot-dir", dir)
+	counts := make([]map[string]int, len(reqs))
+	for i, req := range reqs {
+		counts[i], _ = sampleDaemon(t, srv1, req)
+	}
+	waitForSnapshotFile(t, dir, ".wsnap")
+	shutdown1()
+
+	files, err := filepath.Glob(filepath.Join(dir, "*.wsnap"))
+	if err != nil || len(files) != 2 {
+		t.Fatalf("want 2 stored snapshots, got %v (err %v)", files, err)
+	}
+	// Truncate the first file, flip a payload bit in the second.
+	if err := os.Truncate(files[0], 10); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(files[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x20
+	if err := os.WriteFile(files[1], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, shutdown2 := bootDaemon(t, "-snapshot-dir", dir)
+	defer shutdown2()
+	corrupt, err := filepath.Glob(filepath.Join(dir, "*.corrupt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corrupt) != 2 {
+		t.Fatalf("want 2 quarantined files after restart, got %v", corrupt)
+	}
+	if clean, _ := filepath.Glob(filepath.Join(dir, "*.wsnap")); len(clean) != 0 {
+		t.Fatalf("damaged files still stored: %v", clean)
+	}
+	for i, req := range reqs {
+		again, cached := sampleDaemon(t, srv2, req)
+		if cached {
+			t.Fatalf("request %d served from a quarantined snapshot", i)
+		}
+		if !reflect.DeepEqual(counts[i], again) {
+			t.Fatalf("request %d: re-simulated counts diverged", i)
+		}
+	}
+	if sims := daemonStats(t, srv2); sims != 2 {
+		t.Fatalf("sims_total=%d after quarantine, want 2 re-simulations", sims)
+	}
+}
+
+// waitForSnapshotFile waits for the best-effort persist to materialize a
+// file with the given suffix.
+func waitForSnapshotFile(t *testing.T, dir, suffix string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		entries, _ := os.ReadDir(dir)
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), suffix) {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no %s file appeared in %s", suffix, dir)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunFaultFlag checks the chaos flag end to end: an armed daemon
+// advertises the spec on stderr and the injected fault surfaces through the
+// governance ladder, then a clean daemon is unaffected.
+func TestRunFaultFlag(t *testing.T) {
+	ready := make(chan *serve.Server, 1)
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	var out, errBuf bytes.Buffer
+	go func() {
+		errc <- run([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "5s",
+			"-fault", "serve.queue.submit:err@1"}, &out, &errBuf, ready, stop)
+	}()
+	var srv *serve.Server
+	select {
+	case srv = <-ready:
+	case err := <-errc:
+		t.Fatalf("run exited early: %v (stderr: %s)", err, errBuf.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	defer func() {
+		close(stop)
+		<-errc
+	}()
+	if !strings.Contains(errBuf.String(), "FAULT INJECTION ARMED") {
+		t.Fatalf("armed daemon did not warn on stderr: %q", errBuf.String())
+	}
+	resp, err := http.Post("http://"+srv.Addr()+"/v1/sample", "application/json",
+		strings.NewReader(`{"circuit":"ghz_2","shots":8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status=%d, want 429 from injected queue fault", resp.StatusCode)
+	}
+	resp, err = http.Post("http://"+srv.Addr()+"/v1/sample", "application/json",
+		strings.NewReader(`{"circuit":"ghz_2","shots":8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status=%d after the fault window closed, want 200", resp.StatusCode)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"weaksim/internal/dd"
+	"weaksim/internal/fault"
 	"weaksim/internal/rng"
 )
 
@@ -187,11 +188,34 @@ func CountsParallelContext(ctx context.Context, s Sampler, seed uint64, shots, w
 			local := make(map[uint64]int, CountsSizeHint(quota, qubits))
 			start := time.Now()
 			drawn := 0
+			// An injected panic (chaos testing) must not take down the whole
+			// process from a sampling goroutine — no other goroutine could
+			// recover it. Convert it to this worker's error; genuine panics
+			// still propagate.
+			defer func() {
+				if rec := recover(); rec != nil {
+					p, ok := rec.(*fault.InjectedPanic)
+					if !ok {
+						panic(rec)
+					}
+					errs[k] = fmt.Errorf("core: worker %d: %w after %d/%d shots", k, p, drawn, quota)
+					parts[k] = local
+					stats[k] = WorkerStat{Worker: k, Shots: drawn, Elapsed: time.Since(start)}
+				}
+			}()
 			for ; drawn < quota; drawn++ {
-				if drawn%CtxCheckShots == 0 && ctx.Err() != nil {
-					errs[k] = fmt.Errorf("core: worker %d interrupted after %d/%d shots: %w",
-						k, drawn, quota, context.Cause(ctx))
-					break
+				// Cancellation and the chaos hook share the stride: both cost
+				// nothing on CtxCheckShots-1 of every CtxCheckShots shots.
+				if drawn%CtxCheckShots == 0 {
+					if ctx.Err() != nil {
+						errs[k] = fmt.Errorf("core: worker %d interrupted after %d/%d shots: %w",
+							k, drawn, quota, context.Cause(ctx))
+						break
+					}
+					if err := fault.Hit(fault.SamplerWalk); err != nil {
+						errs[k] = fmt.Errorf("core: worker %d after %d/%d shots: %w", k, drawn, quota, err)
+						break
+					}
 				}
 				local[s.Sample(r)]++
 			}

@@ -3,6 +3,8 @@ package dd
 import (
 	"errors"
 	"fmt"
+
+	"weaksim/internal/fault"
 )
 
 // ErrNodeBudget reports that the decision diagrams owned by a Manager have
@@ -89,6 +91,12 @@ func (m *Manager) noteGrowth() {
 		m.peakNodes = live
 	}
 	if m.nodeBudget > 0 && live > m.nodeBudget {
+		panic(budgetAbort{live: live, budget: m.nodeBudget})
+	}
+	// Fault hook on the unique-table miss path (already allocating, so the
+	// disabled atomic load is noise). An injected err unwinds exactly like a
+	// budget overrun: through the nearest Guarded, out as ErrNodeBudget.
+	if err := fault.Hit(fault.DDUniqueInsert); err != nil {
 		panic(budgetAbort{live: live, budget: m.nodeBudget})
 	}
 }

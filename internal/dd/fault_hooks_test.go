@@ -1,0 +1,86 @@
+package dd
+
+// Chaos coverage for the DD-level injection points: each armed fault must
+// surface through the package's existing failure contracts — never as a new
+// error shape the callers upstream cannot classify.
+
+import (
+	"errors"
+	"testing"
+
+	"weaksim/internal/fault"
+)
+
+// TestFaultUniqueInsertSurfacesAsNodeBudget: an injected allocation failure
+// on the unique-table miss path unwinds exactly like a budget overrun —
+// through the nearest Guarded, out as ErrNodeBudget (the paper's MO).
+func TestFaultUniqueInsertSurfacesAsNodeBudget(t *testing.T) {
+	m := New(3)
+	if err := fault.Enable("dd.unique.insert:err@1+", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disable()
+	err := m.Guarded(func() error {
+		_ = m.BasisState(5)
+		return nil
+	})
+	if !errors.Is(err, ErrNodeBudget) {
+		t.Fatalf("injected insert fault surfaced as %v, want ErrNodeBudget", err)
+	}
+	// Disarmed, the same construction succeeds: the fault left no residue.
+	fault.Disable()
+	if err := m.Guarded(func() error {
+		_ = m.BasisState(5)
+		return nil
+	}); err != nil {
+		t.Fatalf("after disarm: %v", err)
+	}
+}
+
+// TestFaultGCEscalatesToPanic: GC has no error return, so an injected err is
+// documented to escalate into *fault.InjectedPanic rather than vanish.
+func TestFaultGCEscalatesToPanic(t *testing.T) {
+	m, state := snapTestState(t, NormL2Phase)
+	if err := fault.Enable("dd.gc:err@1", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disable()
+	recovered := func() (r any) {
+		defer func() { r = recover() }()
+		m.GC([]VEdge{state}, nil)
+		return nil
+	}()
+	ip, ok := recovered.(*fault.InjectedPanic)
+	if !ok || ip.Point != fault.DDGC {
+		t.Fatalf("GC fault recovered %v, want *fault.InjectedPanic at %s", recovered, fault.DDGC)
+	}
+	// The aborted collection must not have corrupted the diagram: a full
+	// invariant audit and a clean freeze both still pass.
+	if err := m.CheckInvariants(state); err != nil {
+		t.Fatalf("invariants after aborted GC: %v", err)
+	}
+	if _, err := m.Freeze(state); err != nil {
+		t.Fatalf("freeze after aborted GC: %v", err)
+	}
+}
+
+// TestFaultFreezeReturnsError: the freeze hook fails the freeze with a
+// classifiable error and leaves the live diagram reusable.
+func TestFaultFreezeReturnsError(t *testing.T) {
+	m, state := snapTestState(t, NormL2Phase)
+	if err := fault.Enable("dd.freeze:err@1", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disable()
+	if _, err := m.Freeze(state); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("freeze under fault: %v, want ErrInjected", err)
+	}
+	// The @1 window has closed: the very next freeze succeeds.
+	snap, err := m.Freeze(state)
+	if err != nil {
+		t.Fatalf("freeze after fault window: %v", err)
+	}
+	if err := snap.Verify(); err != nil {
+		t.Fatalf("snapshot after fault window: %v", err)
+	}
+}

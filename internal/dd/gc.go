@@ -1,5 +1,7 @@
 package dd
 
+import "weaksim/internal/fault"
+
 // ShouldGC reports whether the unique tables have grown past the configured
 // threshold — or past the node budget, when one is set, so that drivers
 // collect garbage before a budget overrun is declared genuine. Simulation
@@ -22,6 +24,11 @@ func (m *Manager) ShouldGC() bool {
 // remain structurally intact (Go's GC owns the memory) but lose their
 // sharing guarantees.
 func (m *Manager) GC(keepV []VEdge, keepM []MEdge) (removedV, removedM int) {
+	// GC has no error return: an injected err here escalates to a panic, the
+	// strongest outcome the chaos suite can demand of this point.
+	if err := fault.Hit(fault.DDGC); err != nil {
+		panic(&fault.InjectedPanic{Point: fault.DDGC})
+	}
 	m.gen++
 	m.gcRuns++
 	for _, e := range keepV {

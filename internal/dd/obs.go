@@ -1,6 +1,10 @@
 package dd
 
-import "weaksim/internal/obs"
+import (
+	"errors"
+
+	"weaksim/internal/obs"
+)
 
 // ddMetrics caches the registry metric pointers the Manager mirrors its
 // internal counters into. The Manager keeps its cheap non-atomic counters on
@@ -22,6 +26,9 @@ type ddMetrics struct {
 	gcRuns      *obs.Counter
 	gcReclaimed *obs.Counter
 	budgetHits  *obs.Counter
+
+	invChecks *obs.Counter
+	invFails  *obs.Counter
 
 	liveNodes   *obs.Gauge
 	peakNodes   *obs.Gauge
@@ -63,6 +70,8 @@ func (m *Manager) SetObserver(reg *obs.Registry, tr *obs.Tracer) {
 		gcRuns:      reg.Counter("dd_gc_runs_total"),
 		gcReclaimed: reg.Counter("dd_gc_reclaimed_nodes_total"),
 		budgetHits:  reg.Counter("dd_budget_pressure_total"),
+		invChecks:   reg.Counter("dd_invariant_checks_total"),
+		invFails:    reg.Counter("dd_invariant_failures_total"),
 		liveNodes:   reg.Gauge("dd_live_nodes"),
 		peakNodes:   reg.Gauge("dd_peak_nodes"),
 		cnumEntries: reg.Gauge("cnum_table_entries"),
@@ -113,6 +122,37 @@ func (m *Manager) noteGC(removedV, removedM int) {
 			"removed_m": removedM,
 			"live":      m.LiveNodes(),
 		})
+	}
+}
+
+// startVerify opens an invariant-check span and bumps the check counter.
+// The returned closer records the outcome: failures increment the aggregate
+// failure counter plus a per-check dd_invariant_<check>_failures_total
+// series, and the span (when tracing) carries the violation detail. With no
+// observer attached both halves are no-ops.
+func (m *Manager) startVerify(name string) func(error) {
+	o := m.obs
+	if o == nil {
+		return func(error) {}
+	}
+	o.invChecks.Inc()
+	var sp obs.Span
+	if o.tr != nil {
+		sp = o.tr.Start(obs.PhaseVerify, name)
+	}
+	return func(err error) {
+		var attrs map[string]any
+		if err != nil {
+			o.invFails.Inc()
+			var ie *InvariantError
+			if errors.As(err, &ie) {
+				o.reg.Counter("dd_invariant_" + ie.Check + "_failures_total").Inc()
+			}
+			attrs = map[string]any{"error": err.Error()}
+		}
+		if o.tr != nil {
+			sp.End(attrs)
+		}
 	}
 }
 

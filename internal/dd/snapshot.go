@@ -38,6 +38,7 @@ import (
 	"fmt"
 
 	"weaksim/internal/cnum"
+	"weaksim/internal/fault"
 )
 
 // Sentinel child indices of a SnapNode. All non-negative indices refer into
@@ -112,6 +113,9 @@ func FreezeGeneric() FreezeOption {
 func (m *Manager) Freeze(root VEdge, opts ...FreezeOption) (*Snapshot, error) {
 	if root.IsZero() {
 		return nil, fmt.Errorf("dd: cannot freeze the zero vector")
+	}
+	if err := fault.Hit(fault.DDFreeze); err != nil {
+		return nil, fmt.Errorf("dd: freeze: %w", err)
 	}
 	var cfg freezeConfig
 	for _, o := range opts {
@@ -197,6 +201,14 @@ func (m *Manager) Freeze(root VEdge, opts ...FreezeOption) (*Snapshot, error) {
 			}
 		}
 	}
+	// Freeze-time self-check: a snapshot that fails its own invariants must
+	// never reach a sampler (or a disk file). O(nodes), like the freeze.
+	stop := m.startVerify("freeze")
+	err := s.Verify()
+	stop(err)
+	if err != nil {
+		return nil, fmt.Errorf("dd: freeze produced an invalid snapshot: %w", err)
+	}
 	return s, nil
 }
 
@@ -243,11 +255,17 @@ func (s *Snapshot) Up(i int32) float64 { return s.up[i] }
 // normalized state.
 func (s *Snapshot) Traversal(i int32) float64 { return s.up[i] * s.down[i] }
 
-// Origin returns the live *VNode that node i was frozen from. Diagnostic
-// surfaces use it to key results by node pointer; the pointer is only
-// meaningful while the originating diagram still exists, and the Snapshot
-// itself never dereferences it.
-func (s *Snapshot) Origin(i int32) *VNode { return s.origins[i] }
+// Origin returns the live *VNode that node i was frozen from, or nil when
+// the snapshot carries no origin pointers — snapshots decoded from disk
+// never do. Diagnostic surfaces use it to key results by node pointer; the
+// pointer is only meaningful while the originating diagram still exists, and
+// the Snapshot itself never dereferences it.
+func (s *Snapshot) Origin(i int32) *VNode {
+	if s.origins == nil {
+		return nil
+	}
+	return s.origins[i]
+}
 
 // Amplitude returns the amplitude of basis state idx, computed from the
 // frozen arrays alone — the product of edge weights along the path the bits

@@ -1,0 +1,215 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledHookIsInertAndAllocFree(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled() after Disable")
+	}
+	if err := Hit(DDFreeze); err != nil {
+		t.Fatalf("disabled Hit returned %v", err)
+	}
+	b := []byte{1, 2, 3}
+	out, err := Mangle(SnapstoreWrite, b)
+	if err != nil || &out[0] != &b[0] {
+		t.Fatalf("disabled Mangle must return the input slice unchanged (err=%v)", err)
+	}
+	// The acceptance pin: a disabled hook on the sampling hot path costs no
+	// allocations.
+	if n := testing.AllocsPerRun(1000, func() {
+		_ = Hit(SamplerWalk)
+	}); n != 0 {
+		t.Fatalf("disabled Hit allocates %v/op, want 0", n)
+	}
+}
+
+func TestSpecParsing(t *testing.T) {
+	defer Disable()
+	bad := []string{
+		"nope",                     // no class
+		"bogus.point:err",          // unknown point
+		"dd.freeze:explode",        // unknown class
+		"dd.freeze:err@0",          // zero ordinal
+		"dd.freeze:err@x",          // non-numeric ordinal
+		"dd.freeze:latency(wat)",   // bad duration
+		"dd.freeze:latency(-1s)",   // negative duration
+		"dd.freeze:latency(5ms)@+", // empty ordinal
+	}
+	for _, spec := range bad {
+		if err := Enable(spec, 1); err == nil {
+			t.Errorf("Enable(%q) accepted", spec)
+		}
+	}
+	if err := Enable("dd.freeze:err@3, snapstore.write:truncate@1 ,sampler.walk:latency(1ms)@2+", 7); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if !Enabled() || Active() == "" {
+		t.Fatal("plan not armed")
+	}
+	if err := Enable("", 0); err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	if Enabled() {
+		t.Fatal("empty spec must disable")
+	}
+}
+
+func TestNthHitTrigger(t *testing.T) {
+	defer Disable()
+	if err := Enable("dd.freeze:err@3", 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		err := Hit(DDFreeze)
+		if (i == 3) != (err != nil) {
+			t.Fatalf("hit %d: err=%v, want injected exactly on the 3rd", i, err)
+		}
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: %v is not ErrInjected", i, err)
+		}
+	}
+}
+
+func TestOpenEndedTrigger(t *testing.T) {
+	defer Disable()
+	if err := Enable("dd.gc:err@2+", 0); err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, true, true, true}
+	for i, w := range want {
+		if got := Hit(DDGC) != nil; got != w {
+			t.Fatalf("hit %d: injected=%v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestPanicClass(t *testing.T) {
+	defer Disable()
+	if err := Enable("serve.sim:panic", 0); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		p, ok := r.(*InjectedPanic)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want *fault.InjectedPanic", r, r)
+		}
+		if p.Point != ServeSim {
+			t.Fatalf("panic point %q", p.Point)
+		}
+	}()
+	_ = Hit(ServeSim)
+	t.Fatal("Hit did not panic")
+}
+
+func TestLatencyClassSleeps(t *testing.T) {
+	defer Disable()
+	if err := Enable("sampler.walk:latency(30ms)@1", 0); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Hit(SamplerWalk); err != nil {
+		t.Fatalf("latency hook returned %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("latency hook returned after %v, want >= ~30ms", d)
+	}
+	// Second hit is outside the window: fast and clean.
+	start = time.Now()
+	_ = Hit(SamplerWalk)
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Fatalf("disarmed hit slept %v", d)
+	}
+}
+
+func TestMangleCorruptIsDeterministicAndCopies(t *testing.T) {
+	defer Disable()
+	orig := []byte("immutable snapshot payload bytes")
+	damaged := make([][]byte, 2)
+	for round := 0; round < 2; round++ {
+		if err := Enable("snapstore.write:corrupt@1", 42); err != nil {
+			t.Fatal(err)
+		}
+		out, err := Mangle(SnapstoreWrite, orig)
+		if err != nil {
+			t.Fatalf("corrupt returned err %v", err)
+		}
+		damaged[round] = out
+		Disable()
+	}
+	if string(orig) != "immutable snapshot payload bytes" {
+		t.Fatal("Mangle modified the input slice")
+	}
+	if string(damaged[0]) == string(orig) {
+		t.Fatal("corrupt did not change the payload")
+	}
+	if string(damaged[0]) != string(damaged[1]) {
+		t.Fatal("same (spec, seed) produced different corruption")
+	}
+	diff := 0
+	for i := range orig {
+		if damaged[0][i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corrupt changed %d bytes, want exactly 1", diff)
+	}
+}
+
+func TestMangleTruncateShortens(t *testing.T) {
+	defer Disable()
+	if err := Enable("snapstore.read:truncate", 9); err != nil {
+		t.Fatal(err)
+	}
+	in := make([]byte, 100)
+	out, err := Mangle(SnapstoreRead, in)
+	if err != nil {
+		t.Fatalf("truncate returned err %v", err)
+	}
+	if len(out) >= len(in) {
+		t.Fatalf("truncate kept %d of %d bytes", len(out), len(in))
+	}
+}
+
+func TestMangleErrClass(t *testing.T) {
+	defer Disable()
+	if err := Enable("snapstore.write:err", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Mangle(SnapstoreWrite, []byte{1}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err class through Mangle: %v", err)
+	}
+}
+
+func TestCorruptDegradesToErrOnNonBytePoint(t *testing.T) {
+	defer Disable()
+	if err := Enable("dd.freeze:corrupt", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := Hit(DDFreeze); !errors.Is(err, ErrInjected) {
+		t.Fatalf("corrupt at a non-byte point: %v, want ErrInjected", err)
+	}
+}
+
+func TestCatalogueCoversEveryConstant(t *testing.T) {
+	pts := Points()
+	seen := map[string]bool{}
+	for _, p := range pts {
+		if seen[p] {
+			t.Fatalf("duplicate point %q", p)
+		}
+		seen[p] = true
+	}
+	for _, p := range []string{DDUniqueInsert, DDGC, DDFreeze, SamplerWalk,
+		ServeSim, ServeQueueSubmit, ServeCacheAdmit, SnapstoreWrite, SnapstoreRead} {
+		if !seen[p] {
+			t.Fatalf("constant %q missing from Points()", p)
+		}
+	}
+}

@@ -32,6 +32,10 @@ const (
 	PhaseParse = "parse"
 	PhaseQueue = "queue"
 	PhaseServe = "serve"
+
+	// PhaseVerify covers DD invariant self-checks: dd.CheckInvariants at
+	// freeze time and dd.Snapshot.Verify on every snapshot load.
+	PhaseVerify = "verify"
 )
 
 // Event is one structured trace record. Span events carry a duration; point

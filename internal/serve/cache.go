@@ -28,6 +28,7 @@ import (
 
 	"weaksim/internal/core"
 	"weaksim/internal/dd"
+	"weaksim/internal/fault"
 	"weaksim/internal/obs"
 )
 
@@ -66,6 +67,7 @@ type snapCache struct {
 	misses    *obs.Counter
 	coalesced *obs.Counter
 	evictions *obs.Counter
+	panics    *obs.Counter
 	gBytes    *obs.Gauge
 	gEntries  *obs.Gauge
 	gFlights  *obs.Gauge
@@ -81,6 +83,7 @@ func newSnapCache(maxBytes int64, reg *obs.Registry) *snapCache {
 		misses:    reg.Counter("serve_cache_misses_total"),
 		coalesced: reg.Counter("serve_cache_coalesced_total"),
 		evictions: reg.Counter("serve_cache_evictions_total"),
+		panics:    reg.Counter("serve_panics_total"),
 		gBytes:    reg.Gauge("serve_cache_bytes"),
 		gEntries:  reg.Gauge("serve_cache_entries"),
 		gFlights:  reg.Gauge("serve_cache_flights"),
@@ -130,25 +133,77 @@ func (c *snapCache) getOrCompute(ctx context.Context, key string, submit func(*f
 	return c.wait(ctx, fl)
 }
 
+// panicError carries a recovered simulation panic to the waiters as an
+// ordinary error (classified as HTTP 500).
+type panicError struct{ val any }
+
+func (p *panicError) Error() string { return fmt.Sprintf("serve: simulation panicked: %v", p.val) }
+
+// hitSoft runs the fault hook at a point where every fault class — including
+// an injected panic — degrades to the same "skip this optional step"
+// outcome. Genuine panics still propagate.
+func hitSoft(point string) (faulted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(*fault.InjectedPanic); !ok {
+				panic(r)
+			}
+			faulted = true
+		}
+	}()
+	return fault.Hit(point) != nil
+}
+
 // run executes compute for a flight and publishes the result. Called by the
 // simulation worker that dequeued the job.
+//
+// The recover here is load-bearing for more than the worker: run is the only
+// place the flight gets resolved, so a panic that escaped past finish would
+// leave fl.done open forever and hang every request coalesced onto the
+// flight. Recovery must therefore happen exactly here, where the flight can
+// still be failed cleanly.
 func (c *snapCache) run(key string, fl *flight, compute computeFunc) {
-	ent, err := compute()
+	ent, err := func() (ent *entry, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				c.panics.Inc()
+				err = &panicError{val: r}
+			}
+		}()
+		return compute()
+	}()
 	c.finish(key, fl, ent, err)
 }
 
 // finish resolves a flight: successful entries are admitted to the LRU,
 // failures are propagated without caching.
 func (c *snapCache) finish(key string, fl *flight, ent *entry, err error) {
+	// Fault hook: any injected fault at admission — error, panic, anything —
+	// degrades to "serve uncached": the entry still resolves this flight's
+	// waiters (correct counts, HTTP 200), it just isn't retained. Checked
+	// before taking the lock so an injected latency cannot stall concurrent
+	// lookups.
+	admit := err == nil && ent != nil
+	if admit && hitSoft(fault.ServeCacheAdmit) {
+		admit = false
+	}
 	c.mu.Lock()
 	delete(c.flights, key)
 	c.gFlights.Set(int64(len(c.flights)))
-	if err == nil && ent != nil {
+	if admit {
 		c.admit(ent)
 	}
 	c.mu.Unlock()
 	fl.ent, fl.err = ent, err
 	close(fl.done)
+}
+
+// insert admits an entry built outside any flight — the warm-restart path,
+// which loads verified snapshots from disk before the listener opens.
+func (c *snapCache) insert(ent *entry) {
+	c.mu.Lock()
+	c.admit(ent)
+	c.mu.Unlock()
 }
 
 // admit inserts an entry and evicts LRU entries until the byte budget holds.

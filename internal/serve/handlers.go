@@ -103,13 +103,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/circuits", s.handleCircuits)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	return mux
 }
 
 // classify maps an error to its HTTP status and stable code, mirroring
 // cmd/weaksim's exit codes (MO=3 → 507, TO=4 → 504).
 func classify(err error) (int, string) {
+	var pe *panicError
 	switch {
+	case errors.As(err, &pe):
+		return http.StatusInternalServerError, "panic" // recovered worker panic; daemon keeps serving
 	case errors.Is(err, dd.ErrNodeBudget), errors.Is(err, statevec.ErrMemoryOut):
 		return http.StatusInsufficientStorage, "memory_out" // 507: the paper's MO
 	case errors.Is(err, context.DeadlineExceeded):
@@ -226,6 +230,15 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		s.inflight.Add(-1)
 		s.reqHist.ObserveDuration(time.Since(begin))
 	}()
+	// Last-resort panic isolation on the request goroutine itself (the
+	// simulation pool has its own in snapCache.run): one structured 500, and
+	// the daemon keeps serving.
+	defer func() {
+		if r := recover(); r != nil {
+			s.cache.panics.Inc()
+			s.writeError(w, &panicError{val: r})
+		}
+	}()
 	sp := s.cfg.Tracer.Start(obs.PhaseServe, "sample")
 
 	circ, req, err := s.parseRequest(r)
@@ -330,9 +343,26 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.statsNow())
 }
 
+// handleHealthz is the liveness probe: 200 for as long as the process can
+// answer HTTP at all, draining or not. Restart the process when this fails.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
+		"status": status,
 		"stats":  s.statsNow(),
 	})
+}
+
+// handleReadyz is the readiness probe: 503 from the moment a drain begins,
+// so load balancers stop routing new requests here while in-flight work
+// finishes. Distinct from liveness — a draining process is healthy.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }

@@ -15,9 +15,11 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
+	"weaksim/internal/fault"
 	"weaksim/internal/obs"
 )
 
@@ -88,6 +90,14 @@ func (p *simPool) worker() {
 // submit enqueues a job without blocking. It fails with ErrQueueFull when
 // the queue is at capacity and with ErrDraining after close.
 func (p *simPool) submit(run func()) error {
+	// Fault hook: an injected error is indistinguishable from a full queue —
+	// the caller sheds load (HTTP 429 + Retry-After) exactly as it would
+	// under real pressure. Hit before the lock so latency faults don't
+	// serialize concurrent submitters.
+	if err := fault.Hit(fault.ServeQueueSubmit); err != nil {
+		p.rejected.Inc()
+		return fmt.Errorf("%w (fault injected)", ErrQueueFull)
+	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()

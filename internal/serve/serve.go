@@ -28,12 +28,15 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"weaksim/internal/circuit"
 	"weaksim/internal/dd"
+	"weaksim/internal/fault"
 	"weaksim/internal/obs"
 	"weaksim/internal/sim"
+	"weaksim/internal/snapstore"
 )
 
 // Defaults for the zero Config.
@@ -91,6 +94,14 @@ type Config struct {
 	// DebugAddr, when non-empty, starts an obs.ServeDebug server (Prometheus
 	// /metrics, /metrics.json, expvar, pprof) on that address.
 	DebugAddr string
+	// SnapshotDir, when non-empty, persists every frozen snapshot to a
+	// crash-safe on-disk store (internal/snapstore) keyed by the canonical
+	// circuit hash, and warm-loads the store on Start: a restarted daemon
+	// serves previously simulated circuits from disk with zero strong
+	// simulations. Files failing their CRC or invariant audit are
+	// quarantined and re-simulated; persistence failures degrade to
+	// serving uncached, never to request errors.
+	SnapshotDir string
 }
 
 // withDefaults resolves zero fields.
@@ -136,7 +147,13 @@ type Server struct {
 	http  *http.Server
 	ln    net.Listener
 	debug *obs.DebugServer
+	store *snapstore.Store
 	start time.Time
+
+	// draining flips when Shutdown begins: /readyz turns 503 so load
+	// balancers stop routing here, while /healthz stays 200 — the process is
+	// alive and finishing its in-flight work.
+	draining atomic.Bool
 
 	// baseCtx governs simulation jobs: it outlives individual requests (a
 	// flight is a shared asset) and is cancelled only when a drain deadline
@@ -180,6 +197,15 @@ func New(cfg Config) *Server {
 // Shutdown. It returns once the listener is bound, so Addr is valid
 // immediately after.
 func (s *Server) Start() error {
+	if s.cfg.SnapshotDir != "" {
+		store, err := snapstore.Open(s.cfg.SnapshotDir)
+		if err != nil {
+			return err
+		}
+		store.SetObserver(s.cfg.Metrics)
+		s.store = store
+		s.warmRestart()
+	}
 	addr := s.cfg.Addr
 	if addr == "" {
 		addr = ":0"
@@ -217,6 +243,7 @@ func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
 // cancellation only if ctx expires first), and close the debug server. Safe
 // to call more than once.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
 	err := s.http.Shutdown(ctx)
 	if perr := s.pool.close(ctx); err == nil {
 		err = perr
@@ -243,6 +270,23 @@ func (s *Server) Close() error {
 // deadline budget — not by any single client's context, because the result
 // is shared by every request coalesced onto the flight.
 func (s *Server) simulate(key string, circ *circuit.Circuit) (*entry, error) {
+	// Fault hook for the whole simulation stage. A panic class here unwinds
+	// into snapCache.run's recovery — the regression the chaos suite pins is
+	// that the daemon answers HTTP 500 and keeps serving.
+	if err := fault.Hit(fault.ServeSim); err != nil {
+		return nil, fmt.Errorf("serve: simulation stage: %w", err)
+	}
+	// A snapshot persisted by an earlier process (or another instance
+	// sharing the directory) short-circuits the simulation entirely; a
+	// corrupt file is quarantined inside Get and we fall through to
+	// re-simulate.
+	if s.store != nil {
+		if snap, err := s.store.Get(key); err == nil {
+			if ent, err := newEntry(key, snap, 0); err == nil {
+				return ent, nil
+			}
+		}
+	}
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
 	defer cancel()
 	reg, tr := s.cfg.Metrics, s.cfg.Tracer
@@ -274,7 +318,61 @@ func (s *Server) simulate(key string, circ *circuit.Circuit) (*entry, error) {
 	}
 	reg.Gauge("snapshot_nodes").Set(int64(snap.Len()))
 	reg.Gauge("snapshot_bytes").Set(int64(snap.Bytes()))
+	s.persist(key, snap)
 	return newEntry(key, snap, time.Since(begin))
+}
+
+// persist writes a freshly frozen snapshot to the store. Persistence is
+// strictly best-effort: a full disk, an injected fault, even a panic in the
+// store must degrade to "this circuit re-simulates after a restart" — never
+// to a failed request. The request's counts come from the in-memory
+// snapshot either way.
+func (s *Server) persist(key string, snap *dd.Snapshot) {
+	if s.store == nil {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(*fault.InjectedPanic); !ok {
+				panic(r)
+			}
+		}
+	}()
+	if err := s.store.Put(key, snap); err != nil {
+		s.cfg.Tracer.Event(obs.PhaseServe, "persist-failed", map[string]any{
+			"key": key, "error": err.Error(),
+		})
+	}
+}
+
+// warmRestart loads every verified snapshot from the store into the cache
+// before the listener opens. Corrupt files are quarantined by the store; a
+// key that fails to load simply stays cold and re-simulates on first
+// request.
+func (s *Server) warmRestart() {
+	keys, err := s.store.Keys()
+	if err != nil {
+		return
+	}
+	loaded := 0
+	for _, key := range keys {
+		snap, err := s.store.Get(key)
+		if err != nil {
+			continue
+		}
+		ent, err := newEntry(key, snap, 0)
+		if err != nil {
+			continue
+		}
+		s.cache.insert(ent)
+		loaded++
+	}
+	s.cfg.Metrics.Counter("serve_warm_loaded_total").Add(uint64(loaded))
+	if loaded > 0 {
+		s.cfg.Tracer.Event(obs.PhaseServe, "warm-restart", map[string]any{
+			"loaded": loaded, "dir": s.cfg.SnapshotDir,
+		})
+	}
 }
 
 // lookup resolves the cache entry for a circuit: hit, join, or simulate.

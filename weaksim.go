@@ -726,6 +726,11 @@ type ServeConfig struct {
 	// RequestTimeout is the per-request deadline; blown deadlines answer
 	// HTTP 504, the paper's "TO" through the network boundary.
 	RequestTimeout time.Duration
+	// SnapshotDir, when non-empty, persists frozen snapshots to a
+	// crash-safe on-disk store and warm-loads it on start: a restarted
+	// daemon serves previously simulated circuits from disk with zero
+	// strong simulations. Corrupt files are quarantined and re-simulated.
+	SnapshotDir string
 }
 
 // Daemon is a running sampling-as-a-service instance (see Serve).
@@ -756,6 +761,7 @@ func Serve(sc ServeConfig, opts ...Option) (*Daemon, error) {
 		MaxShots:         sc.MaxShots,
 		DefaultShots:     sc.DefaultShots,
 		RequestTimeout:   sc.RequestTimeout,
+		SnapshotDir:      sc.SnapshotDir,
 		Metrics:          cfg.reg,
 		Tracer:           cfg.tracer,
 	})
