@@ -13,6 +13,8 @@
 #                     BENCH_FROZEN.txt (best of 3 runs vs the slowest
 #                     committed row, 25% tolerance)
 #   make cover-gate   total statement coverage >= the floor in coverage.floor
+#   make slo-gate     observability smoke: daemon boot, trace IDs on every
+#                     response, well-formed /v1/slo (see cmd/slogate)
 #
 # The perf and coverage gates are armed by committed files: regenerate
 # BENCH_FROZEN.txt with `make bench-frozen` when the fleet changes, and
@@ -20,7 +22,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test fmt-check race race-stress chaos fuzz-smoke bench bench-frozen bench-gate bench-json cover cover-gate table serve clean
+.PHONY: check build vet test fmt-check race race-stress chaos fuzz-smoke bench bench-frozen bench-gate bench-json cover cover-gate slo-gate table serve clean
 
 check: vet build test
 
@@ -97,6 +99,14 @@ cover-gate: cover
 	echo "coverage: total $$total% (floor $$floor%)"; \
 	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
 		{ echo "coverage gate FAILED: $$total% < $$floor%"; exit 1; }
+
+# Observability smoke gate: boot the daemon in-process, issue cold + warm
+# /v1/sample requests, and assert the tracing/SLO contract — every response
+# carries X-Weaksim-Trace-Id, an inbound traceparent is adopted, ?debug=1
+# phase breakdowns cover the pipeline, /v1/slo and /v1/stats are
+# well-formed, and /debug/flight streams valid JSONL. See cmd/slogate.
+slo-gate:
+	$(GO) run ./cmd/slogate
 
 # Regenerate the Table I rows that fit a laptop.
 table:

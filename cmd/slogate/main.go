@@ -1,0 +1,256 @@
+// Command slogate is the CI smoke gate for the daemon's observability
+// surface. It boots a real weaksimd server in-process on an ephemeral port,
+// drives one cold and one warm request through it, and asserts the
+// request-tracing / SLO / flight-recorder contract:
+//
+//   - every response (success, error, GET endpoints) carries a well-formed
+//     X-Weaksim-Trace-Id header;
+//   - an inbound W3C traceparent header is adopted as the trace ID;
+//   - ?debug=1 on a cold request yields a phase breakdown covering parse,
+//     queue, build, apply, freeze, and sample;
+//   - the warm request is a cache hit whose breakdown has no build phase;
+//   - /v1/slo is well-formed: fast/slow windows per endpoint, the fast-burn
+//     threshold, and a tally that saw the requests just made;
+//   - /v1/stats reports interpolated endpoint percentiles;
+//   - /debug/flight streams valid JSONL with the requests' serve spans.
+//
+// Run via `make slo-gate`. Exit code 0 means the contract holds.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+
+	"weaksim/internal/obs"
+	"weaksim/internal/serve"
+)
+
+var traceIDRe = regexp.MustCompile(`^[0-9a-f]{32}$`)
+
+func main() {
+	if err := gate(); err != nil {
+		fmt.Fprintln(os.Stderr, "slo-gate: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("slo-gate: OK")
+}
+
+func fetch(method, url string, body []byte, hdr map[string]string) (int, http.Header, []byte, error) {
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header, raw, err
+}
+
+// sampleResp mirrors the fields of the /v1/sample body the gate checks.
+type sampleResp struct {
+	Counts map[string]int `json:"counts"`
+	Shots  int            `json:"shots"`
+	Cached bool           `json:"cached"`
+	Trace  *struct {
+		TraceID string           `json:"trace_id"`
+		PhaseNS map[string]int64 `json:"phase_ns"`
+	} `json:"trace"`
+}
+
+func gate() error {
+	srv := serve.New(serve.Config{Addr: "127.0.0.1:0", Metrics: obs.NewRegistry()})
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	needTrace := func(what string, hdr http.Header) (string, error) {
+		id := hdr.Get("X-Weaksim-Trace-Id")
+		if !traceIDRe.MatchString(id) {
+			return "", fmt.Errorf("%s: X-Weaksim-Trace-Id %q is not 32 lowercase hex digits", what, id)
+		}
+		return id, nil
+	}
+
+	// Cold request, ?debug=1: the phase breakdown must cover the pipeline.
+	body := []byte(`{"circuit":"qft_8","shots":20000,"seed":7}`)
+	status, hdr, raw, err := fetch(http.MethodPost, base+"/v1/sample?debug=1", body, nil)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("cold sample: status %d: %s", status, raw)
+	}
+	coldID, err := needTrace("cold sample", hdr)
+	if err != nil {
+		return err
+	}
+	var cold sampleResp
+	if err := json.Unmarshal(raw, &cold); err != nil {
+		return fmt.Errorf("cold sample body: %w", err)
+	}
+	if cold.Cached {
+		return fmt.Errorf("cold sample answered from cache")
+	}
+	if cold.Trace == nil || cold.Trace.TraceID != coldID {
+		return fmt.Errorf("cold sample debug trace missing or mismatched (header %s)", coldID)
+	}
+	for _, phase := range []string{"parse", "queue", "build", "apply", "freeze", "sample"} {
+		if _, ok := cold.Trace.PhaseNS[phase]; !ok {
+			return fmt.Errorf("cold breakdown missing phase %q: %v", phase, cold.Trace.PhaseNS)
+		}
+	}
+	if cold.Trace.PhaseNS["sample"] <= 0 {
+		return fmt.Errorf("cold breakdown has zero-length sample phase: %v", cold.Trace.PhaseNS)
+	}
+
+	// Warm request with an inbound traceparent: cache hit, adopted trace ID,
+	// no simulation phases.
+	const inbound = "0af7651916cd43dd8448eb211c80319c"
+	status, hdr, raw, err = fetch(http.MethodPost, base+"/v1/sample?debug=1", body, map[string]string{
+		"traceparent": "00-" + inbound + "-b7ad6b7169203331-01",
+	})
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("warm sample: status %d: %s", status, raw)
+	}
+	warmID, err := needTrace("warm sample", hdr)
+	if err != nil {
+		return err
+	}
+	if warmID != inbound {
+		return fmt.Errorf("warm sample did not adopt inbound traceparent: got %s want %s", warmID, inbound)
+	}
+	var warm sampleResp
+	if err := json.Unmarshal(raw, &warm); err != nil {
+		return fmt.Errorf("warm sample body: %w", err)
+	}
+	if !warm.Cached {
+		return fmt.Errorf("warm sample was not a cache hit")
+	}
+	if warm.Trace == nil || warm.Trace.PhaseNS["build"] != 0 {
+		return fmt.Errorf("warm breakdown shows simulation work: %+v", warm.Trace)
+	}
+
+	// Errors carry the header too.
+	status, hdr, _, err = fetch(http.MethodPost, base+"/v1/sample", []byte(`{"qasm":"nope"}`), nil)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusBadRequest {
+		return fmt.Errorf("bad request: status %d", status)
+	}
+	if _, err := needTrace("bad request", hdr); err != nil {
+		return err
+	}
+
+	// /v1/slo: well-formed, and it saw the traffic above.
+	status, hdr, raw, err = fetch(http.MethodGet, base+"/v1/slo", nil, nil)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("/v1/slo: status %d", status)
+	}
+	if _, err := needTrace("/v1/slo", hdr); err != nil {
+		return err
+	}
+	var slo struct {
+		WindowSeconds map[string]int64 `json:"window_seconds"`
+		BurnThreshold float64          `json:"fast_burn_threshold"`
+		SLOs          []struct {
+			Endpoint string `json:"endpoint"`
+			Windows  map[string]struct {
+				Requests         uint64  `json:"requests"`
+				AvailabilityBurn float64 `json:"availability_burn"`
+				LatencyBurn      float64 `json:"latency_burn"`
+			} `json:"windows"`
+		} `json:"slos"`
+	}
+	if err := json.Unmarshal(raw, &slo); err != nil {
+		return fmt.Errorf("/v1/slo body: %w", err)
+	}
+	if slo.WindowSeconds["5m"] != 300 || slo.WindowSeconds["1h"] != 3600 || slo.BurnThreshold <= 0 {
+		return fmt.Errorf("/v1/slo malformed: windows %v threshold %v", slo.WindowSeconds, slo.BurnThreshold)
+	}
+	sawSample := false
+	for _, s := range slo.SLOs {
+		fast, ok5 := s.Windows["5m"]
+		_, ok1 := s.Windows["1h"]
+		if !ok5 || !ok1 {
+			return fmt.Errorf("/v1/slo endpoint %s missing windows", s.Endpoint)
+		}
+		if s.Endpoint == "/v1/sample" {
+			sawSample = true
+			if fast.Requests < 2 {
+				return fmt.Errorf("/v1/slo did not tally the sample requests: %+v", fast)
+			}
+		}
+	}
+	if !sawSample {
+		return fmt.Errorf("/v1/slo has no /v1/sample objective")
+	}
+
+	// /v1/stats: interpolated endpoint percentiles present and monotone.
+	status, _, raw, err = fetch(http.MethodGet, base+"/v1/stats", nil, nil)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("/v1/stats: status %d", status)
+	}
+	var stats struct {
+		Endpoints map[string]struct {
+			Requests uint64  `json:"requests"`
+			P50MS    float64 `json:"p50_ms"`
+			P95MS    float64 `json:"p95_ms"`
+			P99MS    float64 `json:"p99_ms"`
+		} `json:"endpoints"`
+	}
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		return fmt.Errorf("/v1/stats body: %w", err)
+	}
+	ep, ok := stats.Endpoints["/v1/sample"]
+	if !ok || ep.Requests < 2 || ep.P50MS <= 0 || ep.P95MS < ep.P50MS || ep.P99MS < ep.P95MS {
+		return fmt.Errorf("/v1/stats endpoint percentiles malformed: %+v", stats.Endpoints)
+	}
+
+	// /debug/flight: valid JSONL carrying the requests' serve spans.
+	status, _, raw, err = fetch(http.MethodGet, base+"/debug/flight", nil, nil)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("/debug/flight: status %d", status)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	records, sawServe := 0, false
+	for dec.More() {
+		var rec map[string]any
+		if err := dec.Decode(&rec); err != nil {
+			return fmt.Errorf("/debug/flight record %d: %w", records, err)
+		}
+		if rec["kind"] == "span" && rec["name"] == "/v1/sample" {
+			sawServe = true
+		}
+		records++
+	}
+	if records == 0 || !sawServe {
+		return fmt.Errorf("/debug/flight: %d records, sawServe=%v", records, sawServe)
+	}
+	return nil
+}

@@ -16,6 +16,14 @@
 //	curl -s localhost:8080/v1/sample -d '{"circuit":"qft_16","shots":1000,"seed":7}'
 //	curl -s localhost:8080/v1/sample -d '{"qasm":"OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];","shots":100}'
 //	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/v1/slo      # burn rates + error budgets
+//	curl -s localhost:8080/debug/flight  # recent-span ring as JSONL
+//
+// Every response carries X-Weaksim-Trace-Id. Requests may supply a W3C
+// traceparent header to join an existing distributed trace, and ?debug=1 on
+// /v1/sample echoes the per-phase latency breakdown in the JSON body.
+// -flight-dir additionally dumps the recent-span ring to disk whenever the
+// daemon trips on a panic, an injected fault, or an SLO fast-burn breach.
 //
 // Status codes mirror the resource-governance ladder: 507 when the DD node
 // budget is exceeded (the paper's MO), 504 on a blown deadline (TO), 429
@@ -84,6 +92,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- *serve.Server, st
 		timeout     = fs.Duration("timeout", serve.DefaultRequestTimeout, "per-request deadline; blown deadlines return HTTP 504")
 		drain       = fs.Duration("drain-timeout", 15*time.Second, "graceful drain window after SIGTERM/SIGINT")
 		snapshotDir = fs.String("snapshot-dir", "", "crash-safe snapshot store for warm restarts (empty = in-memory only)")
+		flightDir   = fs.String("flight-dir", "", "directory for flight-recorder JSONL dumps on panic/fault/SLO breach (empty = /debug/flight only)")
+		flightSlots = fs.Int("flight-slots", 0, "flight-recorder ring capacity in records (0 = default)")
+		noTraces    = fs.Bool("no-request-traces", false, "disable per-request tracing (X-Weaksim-Trace-Id, debug=1 breakdowns)")
 		faultSpec   = fs.String("fault", os.Getenv("WEAKSIM_FAULT"), "chaos-testing fault spec, e.g. \"dd.freeze:err@3,snapstore.write:corrupt@1\" (default $WEAKSIM_FAULT)")
 		faultSeed   = fs.Uint64("fault-seed", 1, "deterministic seed for fault byte corruption")
 	)
@@ -106,18 +117,21 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- *serve.Server, st
 	}
 
 	srv := serve.New(serve.Config{
-		Addr:             *addr,
-		DebugAddr:        *debugAddr,
-		Norm:             normScheme,
-		NodeBudget:       *nodeBudget,
-		CacheBytes:       *cacheBytes,
-		QueueDepth:       *queueDepth,
-		SimWorkers:       *simWorkers,
-		MaxSampleWorkers: *maxWorkers,
-		MaxShots:         *maxShots,
-		RequestTimeout:   *timeout,
-		SnapshotDir:      *snapshotDir,
-		Metrics:          obs.NewRegistry(),
+		Addr:                 *addr,
+		DebugAddr:            *debugAddr,
+		Norm:                 normScheme,
+		NodeBudget:           *nodeBudget,
+		CacheBytes:           *cacheBytes,
+		QueueDepth:           *queueDepth,
+		SimWorkers:           *simWorkers,
+		MaxSampleWorkers:     *maxWorkers,
+		MaxShots:             *maxShots,
+		RequestTimeout:       *timeout,
+		SnapshotDir:          *snapshotDir,
+		FlightDir:            *flightDir,
+		FlightSlots:          *flightSlots,
+		DisableRequestTraces: *noTraces,
+		Metrics:              obs.NewRegistry(),
 	})
 	if err := srv.Start(); err != nil {
 		return err

@@ -9,6 +9,7 @@ import (
 
 	"weaksim/internal/dd"
 	"weaksim/internal/fault"
+	"weaksim/internal/obs"
 	"weaksim/internal/rng"
 )
 
@@ -224,6 +225,20 @@ func CountsParallelContext(ctx context.Context, s Sampler, seed uint64, shots, w
 		}(k, quota)
 	}
 	wg.Wait()
+
+	// Request-scoped trace attribution: when the context carries a request
+	// trace, annotate it with one walk event per worker (shots drawn, wall
+	// time) so a debug=1 breakdown shows how the shot batch sharded. Events
+	// carry no duration, so they never distort the phase-sum accounting.
+	if rt := obs.TraceFromContext(ctx); rt != nil {
+		for _, st := range stats {
+			rt.Event(obs.PhaseSample, map[string]any{
+				"walk_worker": st.Worker,
+				"shots":       st.Shots,
+				"elapsed_ns":  st.Elapsed.Nanoseconds(),
+			})
+		}
+	}
 
 	merged := make(map[uint64]int, CountsSizeHint(shots, qubits))
 	MergeCounts(merged, parts...)

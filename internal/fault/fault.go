@@ -174,6 +174,34 @@ type plan struct {
 
 var active atomic.Pointer[plan]
 
+// observer, when set, is called synchronously every time an armed rule
+// actually fires (not on every hit). The serving layer uses it to record
+// injected faults into the flight recorder, so a chaos run leaves a
+// post-hoc-debuggable artifact instead of just a flipped status code. The
+// callback runs on the faulting goroutine and must be cheap and must not
+// itself call into fault.
+type observerFn func(point string, class Class)
+
+var observer atomic.Pointer[observerFn]
+
+// SetObserver installs the fired-fault callback (nil removes it). Only one
+// observer is active at a time; the last call wins.
+func SetObserver(fn func(point string, class Class)) {
+	if fn == nil {
+		observer.Store(nil)
+		return
+	}
+	f := observerFn(fn)
+	observer.Store(&f)
+}
+
+// notify reports a fired rule to the observer, if any.
+func notify(point string, class Class) {
+	if fn := observer.Load(); fn != nil {
+		(*fn)(point, class)
+	}
+}
+
 // Enable compiles and arms a fault spec. The seed drives byte-corruption
 // positions (and nothing else); the same (spec, seed) produces the same
 // faults in the same order. An empty spec disables injection, like Disable.
@@ -290,6 +318,7 @@ func (p *plan) hit(point string) error {
 		if _, on := r.fire(); !on {
 			continue
 		}
+		notify(point, r.class)
 		switch r.class {
 		case Latency:
 			time.Sleep(r.lat)
@@ -322,6 +351,7 @@ func (p *plan) mangle(point string, b []byte) ([]byte, error) {
 		if !on {
 			continue
 		}
+		notify(point, r.class)
 		switch r.class {
 		case Latency:
 			time.Sleep(r.lat)

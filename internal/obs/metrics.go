@@ -191,12 +191,67 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) of the observed
+// distribution by linear interpolation within the bucket that contains the
+// target rank. The estimate for a rank landing in bucket (lo, hi] is
+//
+//	lo + (hi-lo) · (rank - cum_below) / bucket_count
+//
+// with lo = 0 for the first bucket. Ranks landing in the +Inf bucket are
+// clamped to the largest finite bound (the histogram cannot say more), and
+// an empty histogram reports 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Cumulative) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var below uint64
+	for i, cum := range s.Cumulative {
+		if float64(cum) < rank || cum == below {
+			below = cum
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// +Inf bucket: clamp to the largest finite bound.
+			if len(s.Bounds) == 0 {
+				return 0
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		inBucket := float64(cum - below)
+		return lo + (hi-lo)*(rank-float64(below))/inBucket
+	}
+	if len(s.Bounds) == 0 {
+		return 0
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // Default bucket bounds, in nanoseconds.
 var (
 	// OpLatencyBounds covers per-op apply latency: 1µs to 10s, decades.
 	OpLatencyBounds = []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}
 	// WalkLatencyBounds covers per-sample walk latency: 100ns to 1ms.
 	WalkLatencyBounds = []float64{100, 250, 500, 1e3, 2.5e3, 5e3, 1e4, 1e5, 1e6}
+	// ServeLatencyBounds covers whole-request daemon latency, 100µs to 30s,
+	// with 1-2.5-5 spacing: coarse decade buckets make interpolated
+	// percentiles (HistogramSnapshot.Quantile) uselessly wide, so the serving
+	// histograms pay for ~2× the buckets.
+	ServeLatencyBounds = []float64{
+		1e5, 2.5e5, 5e5, 1e6, 2.5e6, 5e6, 1e7, 2.5e7, 5e7,
+		1e8, 2.5e8, 5e8, 1e9, 2.5e9, 5e9, 1e10, 3e10,
+	}
 )
 
 // Registry is a named collection of metrics. Metric constructors are

@@ -1,0 +1,430 @@
+package obs
+
+// Request-scoped tracing: a per-request span tree with W3C-compatible
+// trace/span IDs, carried through the serving pipeline via context.Context.
+//
+// The process-global Tracer (trace.go) answers "what is this process doing";
+// a RequestTrace answers "where did THIS request's latency go". Every
+// /v1/sample response carries its trace ID in X-Weaksim-Trace-Id, and with
+// debug=1 the JSON body echoes the full per-phase breakdown, so a slow
+// request is attributable to parse vs queue wait vs strong simulation vs
+// freeze vs sampling without correlating process-wide logs.
+//
+// Design rules mirror the rest of the package:
+//
+//   - Disabled means free. Every method on a nil *RequestTrace is a no-op
+//     that performs no allocation and no time.Now call; TraceFromContext on
+//     a context without a trace is a single Value lookup. The disabled
+//     request path is pinned at 0 allocs/op by TestRequestTraceDisabledZeroAlloc.
+//   - Single-flight friendly. Spans recorded while computing a shared
+//     flight can be re-published into every coalesced waiter's trace via
+//     AdoptShared: the waiters keep their own trace IDs but reference the
+//     same span ID (Shared=true, OriginTrace set), which is exactly the
+//     shape the W3C "links" concept models.
+//   - Appends are mutex-guarded, so concurrent sampling workers may
+//     annotate one request's trace safely.
+
+import (
+	"context"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is a 16-byte W3C trace identifier (non-zero when valid).
+type TraceID [16]byte
+
+// SpanID is an 8-byte W3C span identifier (non-zero when valid).
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// ID generation: a SplitMix64 stream over a process-unique seed. The IDs
+// need uniqueness, not unpredictability, so this stays allocation-free and
+// faster than crypto/rand; the seed folds in the process start time so two
+// daemon instances do not collide.
+var (
+	idCounter atomic.Uint64
+	idSeed    = uint64(time.Now().UnixNano())*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+)
+
+func nextID64() uint64 {
+	x := idSeed + idCounter.Add(1)*0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
+
+// NewTraceID mints a fresh non-zero trace ID.
+func NewTraceID() TraceID {
+	var t TraceID
+	putU64(t[:8], nextID64())
+	putU64(t[8:], nextID64())
+	return t
+}
+
+// NewSpanID mints a fresh non-zero span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	putU64(s[:], nextID64())
+	return s
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+// ParseTraceparent parses a W3C trace-context header
+// (https://www.w3.org/TR/trace-context/):
+//
+//	00-<32 lowercase hex trace-id>-<16 lowercase hex parent-id>-<2 hex flags>
+//
+// It returns ok=false for anything malformed, an unsupported version, or an
+// all-zero trace or parent ID — callers then mint fresh IDs instead of
+// propagating garbage.
+func ParseTraceparent(h string) (TraceID, SpanID, bool) {
+	var t TraceID
+	var s SpanID
+	// 2 + 1 + 32 + 1 + 16 + 1 + 2 = 55 bytes exactly for version 00.
+	if len(h) != 55 || h[0] != '0' || h[1] != '0' || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return t, s, false
+	}
+	if !hexDecode(t[:], h[3:35]) || !hexDecode(s[:], h[36:52]) || !isHexLower(h[53:]) {
+		return TraceID{}, SpanID{}, false
+	}
+	if t.IsZero() || s.IsZero() {
+		return TraceID{}, SpanID{}, false
+	}
+	return t, s, true
+}
+
+// Traceparent renders a version-00 traceparent header with the sampled flag
+// set, for propagating a request trace to downstream services.
+func Traceparent(t TraceID, s SpanID) string {
+	return "00-" + t.String() + "-" + s.String() + "-01"
+}
+
+// hexDecode fills dst from the lowercase-hex src, rejecting uppercase (the
+// W3C spec requires lowercase) and non-hex bytes.
+func hexDecode(dst []byte, src string) bool {
+	if len(src) != 2*len(dst) {
+		return false
+	}
+	for i := range dst {
+		hi, ok1 := hexVal(src[2*i])
+		lo, ok2 := hexVal(src[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return true
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+func isHexLower(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if _, ok := hexVal(s[i]); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SpanRecord is one finished span (or point event) in a request trace. It
+// marshals into the debug=1 response body and the flight-recorder JSONL.
+type SpanRecord struct {
+	// SpanID identifies the span. Coalesced requests that shared one
+	// strong simulation carry the SAME span ID for the shared phases.
+	SpanID string `json:"span_id"`
+	// Phase is the pipeline phase label (obs.Phase*).
+	Phase string `json:"phase"`
+	// Kind is "span" for timed regions, "event" for point annotations.
+	Kind string `json:"kind"`
+	// StartNS is the span start in nanoseconds since the Unix epoch.
+	StartNS int64 `json:"start_ns,omitempty"`
+	// DurNS is the span duration (0 for events).
+	DurNS int64 `json:"dur_ns"`
+	// Shared marks a span executed once but observed by several requests
+	// (single-flight coalescing); OriginTrace is the trace that ran it.
+	Shared      bool   `json:"shared,omitempty"`
+	OriginTrace string `json:"origin_trace,omitempty"`
+	// Attrs carries free-form structured attributes.
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// RequestTrace is the per-request span collection. Construct with
+// StartRequest, carry through the pipeline with ContextWithTrace /
+// TraceFromContext, and close with Finish. All methods are safe for
+// concurrent use and nil-safe no-ops on a nil receiver.
+type RequestTrace struct {
+	id       TraceID
+	parent   SpanID // inbound traceparent parent span (zero when minted)
+	root     SpanID
+	start    time.Time
+	recorder *FlightRecorder
+
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// StartRequest opens a request trace. traceparent, when a valid W3C header,
+// supplies the trace ID (the inbound parent span is retained for the
+// flight-recorder record); otherwise fresh IDs are minted. rec, when
+// non-nil, receives the finished spans on Finish.
+func StartRequest(traceparent string, rec *FlightRecorder) *RequestTrace {
+	rt := &RequestTrace{root: NewSpanID(), start: time.Now(), recorder: rec}
+	if tid, pid, ok := ParseTraceparent(traceparent); ok {
+		rt.id, rt.parent = tid, pid
+	} else {
+		rt.id = NewTraceID()
+	}
+	return rt
+}
+
+// ID returns the trace ID (zero for a nil trace).
+func (rt *RequestTrace) ID() TraceID {
+	if rt == nil {
+		return TraceID{}
+	}
+	return rt.id
+}
+
+// Root returns the root span ID (zero for a nil trace).
+func (rt *RequestTrace) Root() SpanID {
+	if rt == nil {
+		return SpanID{}
+	}
+	return rt.root
+}
+
+// ReqSpan is an in-flight request-scoped span. The zero value (from a nil
+// trace) is inert.
+type ReqSpan struct {
+	rt    *RequestTrace
+	id    SpanID
+	phase string
+	start time.Time
+}
+
+// StartSpan opens a phase span. On a nil trace it returns the inert zero
+// ReqSpan without reading the clock or allocating.
+func (rt *RequestTrace) StartSpan(phase string) ReqSpan {
+	if rt == nil {
+		return ReqSpan{}
+	}
+	return ReqSpan{rt: rt, id: NewSpanID(), phase: phase, start: time.Now()}
+}
+
+// ID returns the span's ID (zero for the inert span).
+func (sp ReqSpan) ID() SpanID { return sp.id }
+
+// End closes the span and appends it to the trace. attrs may be nil.
+func (sp ReqSpan) End(attrs map[string]any) {
+	if sp.rt == nil {
+		return
+	}
+	now := time.Now()
+	sp.rt.append(SpanRecord{
+		SpanID:  sp.id.String(),
+		Phase:   sp.phase,
+		Kind:    "span",
+		StartNS: sp.start.UnixNano(),
+		DurNS:   now.Sub(sp.start).Nanoseconds(),
+		Attrs:   attrs,
+	})
+}
+
+// AddSpanAt records a completed span from explicit timestamps — used when
+// the region was timed by other machinery (e.g. the admission queue knows
+// enqueue/dequeue times but never held a ReqSpan).
+func (rt *RequestTrace) AddSpanAt(phase string, start time.Time, dur time.Duration, attrs map[string]any) {
+	if rt == nil {
+		return
+	}
+	rt.append(SpanRecord{
+		SpanID:  NewSpanID().String(),
+		Phase:   phase,
+		Kind:    "span",
+		StartNS: start.UnixNano(),
+		DurNS:   dur.Nanoseconds(),
+		Attrs:   attrs,
+	})
+}
+
+// Event records a point annotation (no duration; excluded from phase-sum
+// accounting).
+func (rt *RequestTrace) Event(phase string, attrs map[string]any) {
+	if rt == nil {
+		return
+	}
+	rt.append(SpanRecord{
+		SpanID:  NewSpanID().String(),
+		Phase:   phase,
+		Kind:    "event",
+		StartNS: time.Now().UnixNano(),
+		Attrs:   attrs,
+	})
+}
+
+func (rt *RequestTrace) append(rec SpanRecord) {
+	rt.mu.Lock()
+	rt.spans = append(rt.spans, rec)
+	rt.mu.Unlock()
+}
+
+// Mark returns the current span count; SpansSince(Mark()) later yields the
+// records appended in between. Used by the single-flight leader to extract
+// exactly the simulation spans for sharing with coalesced waiters.
+func (rt *RequestTrace) Mark() int {
+	if rt == nil {
+		return 0
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.spans)
+}
+
+// SpansSince copies the records appended at or after mark.
+func (rt *RequestTrace) SpansSince(mark int) []SpanRecord {
+	if rt == nil {
+		return nil
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if mark < 0 {
+		mark = 0
+	}
+	if mark >= len(rt.spans) {
+		return nil
+	}
+	out := make([]SpanRecord, len(rt.spans)-mark)
+	copy(out, rt.spans[mark:])
+	return out
+}
+
+// Spans copies every record so far.
+func (rt *RequestTrace) Spans() []SpanRecord { return rt.SpansSince(0) }
+
+// AdoptShared appends copies of spans into this trace marked Shared, with
+// OriginTrace set to origin when it differs from this trace's own ID. A
+// coalesced waiter calls this with the flight leader's simulation spans: the
+// waiter keeps its own trace ID while its breakdown references the shared
+// span IDs (one freeze ran; N requests observed it).
+func (rt *RequestTrace) AdoptShared(origin TraceID, spans []SpanRecord) {
+	if rt == nil || len(spans) == 0 {
+		return
+	}
+	originHex := ""
+	if origin != rt.id && !origin.IsZero() {
+		originHex = origin.String()
+	}
+	rt.mu.Lock()
+	for _, rec := range spans {
+		rec.Shared = true
+		rec.OriginTrace = originHex
+		rt.spans = append(rt.spans, rec)
+	}
+	rt.mu.Unlock()
+}
+
+// PhaseBreakdown sums the owned (non-shared) timed spans per phase. The
+// sequential pipeline phases tile a request, so for a cold request the
+// values sum to (approximately) the request wall time.
+func (rt *RequestTrace) PhaseBreakdown() map[string]int64 {
+	if rt == nil {
+		return nil
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make(map[string]int64, 8)
+	for _, rec := range rt.spans {
+		if rec.Kind == "span" && !rec.Shared {
+			out[rec.Phase] += rec.DurNS
+		}
+	}
+	return out
+}
+
+// Finish closes the trace: the root request span is appended and, when a
+// flight recorder is attached, every span is published into the ring. name
+// is the endpoint, status the HTTP status code.
+func (rt *RequestTrace) Finish(name string, status int) {
+	if rt == nil {
+		return
+	}
+	dur := time.Since(rt.start)
+	rt.mu.Lock()
+	rt.spans = append(rt.spans, SpanRecord{
+		SpanID:  rt.root.String(),
+		Phase:   PhaseServe,
+		Kind:    "span",
+		StartNS: rt.start.UnixNano(),
+		DurNS:   dur.Nanoseconds(),
+		Attrs:   map[string]any{"endpoint": name, "status": status},
+	})
+	spans := make([]SpanRecord, len(rt.spans))
+	copy(spans, rt.spans)
+	rt.mu.Unlock()
+	if rec := rt.recorder; rec != nil {
+		trace := rt.id.String()
+		for _, sp := range spans {
+			rec.Record(FlightRecord{
+				Trace: trace,
+				Span:  sp.SpanID,
+				Kind:  sp.Kind,
+				Phase: sp.Phase,
+				Name:  name,
+				TS:    sp.StartNS,
+				DurNS: sp.DurNS,
+				Attrs: sp.Attrs,
+			})
+		}
+	}
+}
+
+// traceKey is the context key for the request trace.
+type traceKey struct{}
+
+// ContextWithTrace attaches rt to ctx. A nil rt returns ctx unchanged, so
+// the disabled path allocates nothing.
+func ContextWithTrace(ctx context.Context, rt *RequestTrace) context.Context {
+	if rt == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, rt)
+}
+
+// TraceFromContext returns the request trace attached to ctx, or nil. The
+// nil return composes with every nil-safe method on RequestTrace, so
+// instrumentation sites need no conditional.
+func TraceFromContext(ctx context.Context) *RequestTrace {
+	rt, _ := ctx.Value(traceKey{}).(*RequestTrace)
+	return rt
+}

@@ -1,0 +1,67 @@
+package obs
+
+// Go runtime health, scraped into the registry on demand so daemon
+// dashboards show engine metrics (DD node counts, cache hit rates) and
+// runtime metrics (heap, GC pauses, goroutines) side by side from one
+// endpoint. Capture is pull-driven — debug-server scrapes and /v1/stats
+// calls — because runtime.ReadMemStats is not free and a scrape cadence is
+// exactly the right sampling rate for it.
+
+import (
+	"runtime"
+	"sync"
+)
+
+// GCPauseBounds buckets GC stop-the-world pauses: 10µs to 100ms.
+var GCPauseBounds = []float64{1e4, 2.5e4, 5e4, 1e5, 2.5e5, 5e5, 1e6, 2.5e6, 5e6, 1e7, 1e8}
+
+// runtime capture state per registry: the PauseNs ring is cumulative, so a
+// capture must only feed pauses newer than the previous capture into the
+// histogram. Keyed on the registry so independent registries (daemon vs
+// library run) track independently.
+var (
+	rtMu     sync.Mutex
+	rtLastGC = map[*Registry]uint32{}
+)
+
+// CaptureRuntime samples the Go runtime into r:
+//
+//	go_heap_alloc_bytes      live heap allocation (gauge)
+//	go_heap_sys_bytes        heap memory obtained from the OS (gauge)
+//	go_goroutines            current goroutine count (gauge)
+//	go_gomaxprocs            GOMAXPROCS (gauge)
+//	go_gc_runs_total         completed GC cycles (counter, mirrored)
+//	go_gc_pause_ns           stop-the-world pause durations (histogram;
+//	                         only pauses since the previous capture)
+//
+// Safe for concurrent use; a nil registry is a no-op.
+func CaptureRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("go_heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	r.Gauge("go_heap_sys_bytes").Set(int64(ms.HeapSys))
+	r.Gauge("go_goroutines").Set(int64(runtime.NumGoroutine()))
+	r.Gauge("go_gomaxprocs").Set(int64(runtime.GOMAXPROCS(0)))
+	r.Counter("go_gc_runs_total").Set(uint64(ms.NumGC))
+
+	rtMu.Lock()
+	last := rtLastGC[r]
+	rtLastGC[r] = ms.NumGC
+	rtMu.Unlock()
+	if ms.NumGC == last {
+		return
+	}
+	h := r.Histogram("go_gc_pause_ns", GCPauseBounds)
+	// PauseNs is a ring of the last 256 pause durations, indexed by
+	// (NumGC+255)%256 for the most recent. Feed only the unseen ones.
+	first := last
+	if ms.NumGC > last+256 {
+		first = ms.NumGC - 256
+	}
+	for n := first; n < ms.NumGC; n++ {
+		h.Observe(float64(ms.PauseNs[n%256]))
+	}
+}

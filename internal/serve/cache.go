@@ -49,6 +49,14 @@ type flight struct {
 	done chan struct{} // closed when ent/err are final
 	ent  *entry
 	err  error
+
+	// traceID/spans publish the leader's simulation spans (build/apply/
+	// freeze) for coalesced waiters to adopt into their own traces as shared
+	// spans: one freeze ran, N requests observed the same span IDs. Written
+	// by the compute closure before the flight resolves; the close(done)
+	// edge orders the writes before any waiter reads.
+	traceID obs.TraceID
+	spans   []obs.SpanRecord
 }
 
 // snapCache is the byte-bounded snapshot LRU. All methods are safe for
@@ -115,7 +123,14 @@ func (c *snapCache) getOrCompute(ctx context.Context, key string, submit func(*f
 	if fl, ok := c.flights[key]; ok {
 		c.mu.Unlock()
 		c.coalesced.Inc()
-		return c.wait(ctx, fl)
+		ent, cached, err := c.wait(ctx, fl)
+		if err == nil {
+			// The waiter keeps its own trace ID but references the leader's
+			// simulation spans (Shared=true), so a debug=1 breakdown shows
+			// which strong simulation this request rode on.
+			obs.TraceFromContext(ctx).AdoptShared(fl.traceID, fl.spans)
+		}
+		return ent, cached, err
 	}
 	fl := &flight{done: make(chan struct{})}
 	c.flights[key] = fl

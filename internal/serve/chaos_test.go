@@ -12,6 +12,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -371,5 +372,73 @@ func TestWarmRestartDeterminismAcrossWorkers(t *testing.T) {
 	// Zero strong simulations after restart — the whole point of the store.
 	if sims := srv2.Metrics().Counter("serve_sims_total").Value(); sims != 0 {
 		t.Fatalf("restarted daemon ran %d strong simulations, want 0", sims)
+	}
+}
+
+// TestChaosFaultFiringDumpsFlightRecorder: an injected fault that fires is
+// not just a counter — the fault observer trips the flight recorder, which
+// dumps the recent-span ring to disk as well-formed JSONL. The dump must
+// contain the trip record naming the fired point and the spans of the
+// requests that preceded the failure.
+func TestChaosFaultFiringDumpsFlightRecorder(t *testing.T) {
+	dir := t.TempDir()
+	srv, base := startServer(t, Config{FlightDir: dir})
+
+	// A clean request first, so the ring has request spans to dump.
+	var ok sampleResponse
+	if status, _ := post(t, base, sampleBody(16, 1), &ok); status != http.StatusOK {
+		t.Fatalf("prime status=%d", status)
+	}
+
+	armFault(t, "serve.sim:err@1")
+	body := sampleBody(16, 1)
+	body["qasm"] = ghzQASM + "h q[1];\n" // different key: forces a fresh simulation
+	var eb errorBody
+	if status, _ := post(t, base, body, &eb); status != http.StatusInternalServerError {
+		t.Fatalf("faulted status=%d code=%q, want 500", status, eb.Error.Code)
+	}
+
+	if fired := srv.Metrics().Counter("serve_fault_fired_total").Value(); fired == 0 {
+		t.Fatal("serve_fault_fired_total not bumped")
+	}
+
+	// Exactly the fault trip must have produced a dump file.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "flight-") && strings.HasSuffix(e.Name(), ".jsonl") {
+			dump = filepath.Join(dir, e.Name())
+		}
+	}
+	if dump == "" {
+		t.Fatalf("no flight-*.jsonl dump in %s (entries: %v)", dir, entries)
+	}
+
+	// Every line is valid JSON; the trip record names the fired point, and
+	// the ring carries the preceding request's serve span.
+	raw, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawTrip, sawServeSpan bool
+	lines := 0
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		lines++
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not JSON: %q (%v)", lines, line, err)
+		}
+		if rec["kind"] == "trip" && rec["name"] == "fault:serve.sim" {
+			sawTrip = true
+		}
+		if rec["kind"] == "span" && rec["phase"] == "serve" && rec["name"] == "/v1/sample" {
+			sawServeSpan = true
+		}
+	}
+	if lines == 0 || !sawTrip || !sawServeSpan {
+		t.Fatalf("dump with %d lines: sawTrip=%v sawServeSpan=%v", lines, sawTrip, sawServeSpan)
 	}
 }

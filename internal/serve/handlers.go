@@ -74,6 +74,22 @@ type sampleResponse struct {
 	SimNS int64 `json:"sim_ns"`
 	// SampleNS is this request's sampling wall-clock.
 	SampleNS int64 `json:"sample_ns"`
+	// Trace echoes the request's span tree and per-phase timing breakdown
+	// when the request asked for it (?debug=1) and tracing is enabled.
+	Trace *traceDebug `json:"trace,omitempty"`
+}
+
+// traceDebug is the ?debug=1 trace echo: where this request's latency went.
+type traceDebug struct {
+	// TraceID matches the X-Weaksim-Trace-Id response header.
+	TraceID string `json:"trace_id"`
+	// PhaseNS sums the request's own (non-shared) timed spans per phase.
+	// For a cold request the sequential phases — parse, queue, build,
+	// apply, freeze, sample — tile the wall time.
+	PhaseNS map[string]int64 `json:"phase_ns"`
+	// Spans is the raw span list, including spans adopted from a coalesced
+	// single-flight simulation (shared=true, same span IDs as the leader).
+	Spans []obs.SpanRecord `json:"spans"`
 }
 
 // errorBody is the structured error envelope of every non-2xx response.
@@ -99,12 +115,82 @@ const retryAfter = time.Second
 // Handler returns the daemon's HTTP handler (also useful under httptest).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/sample", s.handleSample)
-	mux.HandleFunc("/v1/circuits", s.handleCircuits)
-	mux.HandleFunc("/v1/stats", s.handleStats)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/v1/sample", s.route("/v1/sample", s.handleSample))
+	mux.HandleFunc("/v1/circuits", s.route("/v1/circuits", s.handleCircuits))
+	mux.HandleFunc("/v1/stats", s.route("/v1/stats", s.handleStats))
+	mux.HandleFunc("/v1/slo", s.route("/v1/slo", s.handleSLO))
+	mux.HandleFunc("/healthz", s.route("/healthz", s.handleHealthz))
+	mux.HandleFunc("/readyz", s.route("/readyz", s.handleReadyz))
+	mux.HandleFunc("/debug/flight", s.handleFlight)
 	return mux
+}
+
+// statusWriter captures the response status for the observability envelope.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Status returns the written status (200 when the handler never set one).
+func (w *statusWriter) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// route wraps an endpoint handler in the request-scoped observability
+// envelope:
+//
+//   - a RequestTrace is opened (adopting an inbound W3C traceparent trace ID
+//     when present), attached to the request context, and echoed in
+//     X-Weaksim-Trace-Id on EVERY response — success or error;
+//   - the per-endpoint latency histogram and the SLO burn-rate engine
+//     observe the request's duration and status;
+//   - last-resort panic isolation: one structured 500, a flight-recorder
+//     trip with the ring dumped to disk, and the daemon keeps serving.
+//
+// With Config.DisableRequestTraces the trace stays nil and every rt call
+// below is an allocation-free no-op (pinned by the obs zero-alloc test).
+func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		begin := time.Now()
+		var rt *obs.RequestTrace
+		if !s.cfg.DisableRequestTraces {
+			rt = obs.StartRequest(r.Header.Get("traceparent"), s.recorder)
+			w.Header().Set("X-Weaksim-Trace-Id", rt.ID().String())
+			r = r.WithContext(obs.ContextWithTrace(r.Context(), rt))
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				s.cache.panics.Inc()
+				s.writeError(sw, &panicError{val: p})
+				s.recorder.Trip("panic", map[string]any{
+					"endpoint": name, "panic": fmt.Sprint(p), "trace": rt.ID().String(),
+				})
+			}
+			dur := time.Since(begin)
+			s.epHists[name].ObserveDuration(dur)
+			s.slo.observe(name, dur, sw.Status())
+			rt.Finish(name, sw.Status())
+		}()
+		h(sw, r)
+	}
 }
 
 // classify maps an error to its HTTP status and stable code, mirroring
@@ -230,18 +316,14 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		s.inflight.Add(-1)
 		s.reqHist.ObserveDuration(time.Since(begin))
 	}()
-	// Last-resort panic isolation on the request goroutine itself (the
-	// simulation pool has its own in snapCache.run): one structured 500, and
-	// the daemon keeps serving.
-	defer func() {
-		if r := recover(); r != nil {
-			s.cache.panics.Inc()
-			s.writeError(w, &panicError{val: r})
-		}
-	}()
+	// Panic isolation lives in the route middleware (one structured 500 plus
+	// a flight-recorder trip; the daemon keeps serving).
 	sp := s.cfg.Tracer.Start(obs.PhaseServe, "sample")
+	rt := obs.TraceFromContext(r.Context())
 
+	psp := rt.StartSpan(obs.PhaseParse)
 	circ, req, err := s.parseRequest(r)
+	psp.End(errAttrs(err))
 	if err != nil {
 		sp.End(map[string]any{"error": err.Error()})
 		s.writeError(w, err)
@@ -271,15 +353,18 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	// (circuit, seed, shots, workers) — rerunning the request reproduces
 	// them bit for bit, at any cache temperature.
 	stopSample := obs.StartPhase(s.cfg.Metrics, s.cfg.Tracer, obs.PhaseSample)
+	ssp := rt.StartSpan(obs.PhaseSample)
 	sampleStart := time.Now()
 	idxCounts, _, err := core.CountsParallelContext(ctx, ent.sampler, *req.Seed, req.Shots, req.Workers)
 	sampleNS := time.Since(sampleStart).Nanoseconds()
 	stopSample()
 	if err != nil {
+		ssp.End(errAttrs(err))
 		sp.End(map[string]any{"error": err.Error(), "key": key})
 		s.writeError(w, err)
 		return
 	}
+	ssp.End(map[string]any{"shots": req.Shots, "workers": req.Workers})
 	s.shotsCtr.Add(uint64(req.Shots))
 
 	counts := make(map[string]int, len(idxCounts))
@@ -297,6 +382,13 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		SnapshotNodes: ent.sampler.Snapshot().Len(),
 		SimNS:         ent.simNS,
 		SampleNS:      sampleNS,
+	}
+	if rt != nil && r.URL.Query().Get("debug") == "1" {
+		resp.Trace = &traceDebug{
+			TraceID: rt.ID().String(),
+			PhaseNS: rt.PhaseBreakdown(),
+			Spans:   rt.Spans(),
+		}
 	}
 	sp.End(map[string]any{"key": key, "cached": cached, "shots": req.Shots})
 	writeJSON(w, http.StatusOK, resp)
@@ -316,17 +408,41 @@ func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse is the GET /v1/stats body.
 type statsResponse struct {
-	UptimeMS      int64      `json:"uptime_ms"`
-	Requests      uint64     `json:"requests_total"`
-	Errors        uint64     `json:"errors_total"`
-	Shots         uint64     `json:"shots_total"`
-	Sims          uint64     `json:"sims_total"`
-	QueueDepth    int        `json:"queue_depth"`
-	QueueRejected uint64     `json:"queue_rejected_total"`
-	Cache         cacheStats `json:"cache"`
+	UptimeMS      int64                    `json:"uptime_ms"`
+	Requests      uint64                   `json:"requests_total"`
+	Errors        uint64                   `json:"errors_total"`
+	Shots         uint64                   `json:"shots_total"`
+	Sims          uint64                   `json:"sims_total"`
+	QueueDepth    int                      `json:"queue_depth"`
+	QueueRejected uint64                   `json:"queue_rejected_total"`
+	Cache         cacheStats               `json:"cache"`
+	Endpoints     map[string]endpointStats `json:"endpoints"`
+}
+
+// endpointStats summarizes one endpoint's latency distribution: request
+// count plus p50/p95/p99 estimated by linear interpolation within the
+// serve_endpoint_* histogram buckets (obs.HistogramSnapshot.Quantile).
+type endpointStats struct {
+	Requests uint64  `json:"requests"`
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	P99MS    float64 `json:"p99_ms"`
 }
 
 func (s *Server) statsNow() statsResponse {
+	eps := make(map[string]endpointStats, len(s.epHists))
+	for path, h := range s.epHists {
+		snap := h.Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		eps[path] = endpointStats{
+			Requests: snap.Count,
+			P50MS:    snap.Quantile(0.50) / 1e6,
+			P95MS:    snap.Quantile(0.95) / 1e6,
+			P99MS:    snap.Quantile(0.99) / 1e6,
+		}
+	}
 	return statsResponse{
 		UptimeMS:      time.Since(s.start).Milliseconds(),
 		Requests:      s.reqTotal.Value(),
@@ -336,11 +452,31 @@ func (s *Server) statsNow() statsResponse {
 		QueueDepth:    s.pool.queued(),
 		QueueRejected: s.pool.rejected.Value(),
 		Cache:         s.cache.stats(),
+		Endpoints:     eps,
 	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.statsNow())
+}
+
+// handleSLO reports the configured objectives with 5m/1h burn rates and
+// remaining error budget per endpoint.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: errorInfo{
+			Code: "method_not_allowed", Message: "use GET", Status: http.StatusMethodNotAllowed}})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.slo.report())
+}
+
+// handleFlight streams the flight-recorder ring as JSONL, oldest record
+// first — the same dump a trip writes to disk, available on demand.
+func (s *Server) handleFlight(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = s.recorder.WriteJSONL(w)
 }
 
 // handleHealthz is the liveness probe: 200 for as long as the process can

@@ -35,6 +35,7 @@ var ErrDraining = errors.New("serve: server is draining")
 type simJob struct {
 	run      func() // executes the compute and resolves the flight
 	enqueued time.Time
+	rt       *obs.RequestTrace // submitting request's trace (nil when disabled)
 }
 
 // simPool runs queued simulation jobs on a fixed set of workers.
@@ -82,6 +83,12 @@ func (p *simPool) worker() {
 		wait := time.Since(job.enqueued)
 		p.queueNS.Add(uint64(wait.Nanoseconds()))
 		p.tracer.Event(obs.PhaseQueue, "dequeue", map[string]any{"wait_ns": wait.Nanoseconds()})
+		// The queue wait belongs to the submitting request's trace, but only
+		// the worker knows when the job was picked up — record it here from
+		// the explicit timestamps. The span lands before job.run takes its
+		// single-flight mark, so coalesced waiters never inherit the leader's
+		// queue wait.
+		job.rt.AddSpanAt(obs.PhaseQueue, job.enqueued, wait, nil)
 		p.sims.Inc()
 		job.run()
 	}
@@ -89,7 +96,11 @@ func (p *simPool) worker() {
 
 // submit enqueues a job without blocking. It fails with ErrQueueFull when
 // the queue is at capacity and with ErrDraining after close.
-func (p *simPool) submit(run func()) error {
+func (p *simPool) submit(run func()) error { return p.submitWith(nil, run) }
+
+// submitWith is submit with request-trace attribution: the dequeuing worker
+// records the queue-wait span into rt (nil skips, costing nothing).
+func (p *simPool) submitWith(rt *obs.RequestTrace, run func()) error {
 	// Fault hook: an injected error is indistinguishable from a full queue —
 	// the caller sheds load (HTTP 429 + Retry-After) exactly as it would
 	// under real pressure. Hit before the lock so latency faults don't
@@ -104,7 +115,7 @@ func (p *simPool) submit(run func()) error {
 		p.rejected.Inc()
 		return ErrDraining
 	}
-	job := &simJob{run: run, enqueued: time.Now()}
+	job := &simJob{run: run, enqueued: time.Now(), rt: rt}
 	select {
 	case p.jobs <- job:
 		p.depth.Set(int64(len(p.jobs)))

@@ -102,6 +102,23 @@ type Config struct {
 	// quarantined and re-simulated; persistence failures degrade to
 	// serving uncached, never to request errors.
 	SnapshotDir string
+	// DisableRequestTraces turns off per-request span collection — no
+	// X-Weaksim-Trace-Id header, no debug=1 breakdown, and no per-request
+	// flight-recorder records. The disabled path allocates nothing per
+	// request (the flight recorder still captures trips).
+	DisableRequestTraces bool
+	// FlightSlots sizes the flight-recorder ring (records, not requests;
+	// <= 0 selects obs.DefaultFlightSlots).
+	FlightSlots int
+	// FlightDir, when non-empty, receives JSONL ring dumps when the
+	// recorder trips (panic, injected fault, SLO fast-burn breach). Empty
+	// keeps dumps HTTP-only (GET /debug/flight).
+	FlightDir string
+	// SLOs configures per-endpoint latency/availability objectives for
+	// /v1/slo and the fast-burn trip signal. nil selects
+	// DefaultSLOs(RequestTimeout); an explicit empty slice disables SLO
+	// evaluation.
+	SLOs []SLO
 }
 
 // withDefaults resolves zero fields.
@@ -136,6 +153,9 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = obs.NewRegistry()
 	}
+	if c.SLOs == nil {
+		c.SLOs = DefaultSLOs(c.RequestTimeout)
+	}
 	return c
 }
 
@@ -166,6 +186,25 @@ type Server struct {
 	reqHist   *obs.Histogram
 	inflight  *obs.Gauge
 	shotsCtr  *obs.Counter
+
+	// Request-scoped observability layer: the always-on flight recorder, the
+	// SLO burn-rate engine feeding it, per-endpoint latency histograms
+	// backing /v1/stats percentiles, and the injected-fault counter.
+	recorder   *obs.FlightRecorder
+	slo        *sloEngine
+	epHists    map[string]*obs.Histogram
+	faultFired *obs.Counter
+}
+
+// tracedEndpoints are the routes wrapped by the observability middleware,
+// each with the metric-name stem of its latency histogram.
+var tracedEndpoints = map[string]string{
+	"/v1/sample":   "sample",
+	"/v1/circuits": "circuits",
+	"/v1/stats":    "stats",
+	"/v1/slo":      "slo",
+	"/healthz":     "healthz",
+	"/readyz":      "readyz",
 }
 
 // New builds a Server from cfg without binding the listen socket yet.
@@ -185,6 +224,17 @@ func New(cfg Config) *Server {
 		reqHist:   reg.Histogram("serve_request_ns", obs.OpLatencyBounds),
 		inflight:  reg.Gauge("serve_inflight"),
 		shotsCtr:  reg.Counter("serve_shots_total"),
+	}
+	s.recorder = obs.NewFlightRecorder(cfg.FlightSlots,
+		obs.WithFlightDir(cfg.FlightDir),
+		obs.WithFlightTrips(reg.Counter("serve_flight_trips_total")))
+	s.slo = newSLOEngine(cfg.SLOs, s.recorder, reg)
+	s.faultFired = reg.Counter("serve_fault_fired_total")
+	s.epHists = make(map[string]*obs.Histogram, len(tracedEndpoints))
+	for path, stem := range tracedEndpoints {
+		name := "serve_endpoint_" + stem + "_ns"
+		obs.RegisterHelp(name, "Request latency for "+path+" in nanoseconds.")
+		s.epHists[path] = reg.Histogram(name, obs.ServeLatencyBounds)
 	}
 	s.http = &http.Server{
 		Handler:           s.Handler(),
@@ -216,13 +266,22 @@ func (s *Server) Start() error {
 	}
 	s.ln = ln
 	if s.cfg.DebugAddr != "" {
-		dbg, err := obs.ServeDebug(s.cfg.DebugAddr, s.cfg.Metrics)
+		dbg, err := obs.ServeDebug(s.cfg.DebugAddr, s.cfg.Metrics,
+			obs.WithDebugFlightRecorder(s.recorder))
 		if err != nil {
 			ln.Close()
 			return fmt.Errorf("serve: debug server: %w", err)
 		}
 		s.debug = dbg
 	}
+	// Every injected fault that fires lands in the flight recorder — the
+	// chaos matrix's outcomes become post-hoc debuggable ring dumps instead
+	// of bare counters. The observer is process-global (the fault registry
+	// is); the last started server owns it until shutdown.
+	fault.SetObserver(func(point string, class fault.Class) {
+		s.faultFired.Inc()
+		s.recorder.Trip("fault:"+point, map[string]any{"class": class.String()})
+	})
 	go func() { _ = s.http.Serve(ln) }()
 	return nil
 }
@@ -244,6 +303,7 @@ func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
 // to call more than once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	fault.SetObserver(nil)
 	err := s.http.Shutdown(ctx)
 	if perr := s.pool.close(ctx); err == nil {
 		err = perr
@@ -269,7 +329,7 @@ func (s *Server) Close() error {
 // simulation worker, governed by the server's base context plus the request
 // deadline budget — not by any single client's context, because the result
 // is shared by every request coalesced onto the flight.
-func (s *Server) simulate(key string, circ *circuit.Circuit) (*entry, error) {
+func (s *Server) simulate(rt *obs.RequestTrace, key string, circ *circuit.Circuit) (*entry, error) {
 	// Fault hook for the whole simulation stage. A panic class here unwinds
 	// into snapCache.run's recovery — the regression the chaos suite pins is
 	// that the daemon answers HTTP 500 and keeps serving.
@@ -283,16 +343,22 @@ func (s *Server) simulate(key string, circ *circuit.Circuit) (*entry, error) {
 	if s.store != nil {
 		if snap, err := s.store.Get(key); err == nil {
 			if ent, err := newEntry(key, snap, 0); err == nil {
+				rt.Event(obs.PhaseServe, map[string]any{"snapstore_hit": key})
 				return ent, nil
 			}
 		}
 	}
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
 	defer cancel()
+	// The simulation runs on a pool worker under the server's base context,
+	// but its spans still belong to the leader request's trace — reattach it
+	// so dd.FreezeContext and the sampling workers can annotate.
+	ctx = obs.ContextWithTrace(ctx, rt)
 	reg, tr := s.cfg.Metrics, s.cfg.Tracer
 	begin := time.Now()
 
 	stopBuild := obs.StartPhase(reg, tr, obs.PhaseBuild)
+	bsp := rt.StartSpan(obs.PhaseBuild)
 	mgrOpts := []dd.Option{dd.WithNormalization(s.cfg.Norm)}
 	if s.cfg.NodeBudget > 0 {
 		mgrOpts = append(mgrOpts, dd.WithNodeBudget(s.cfg.NodeBudget))
@@ -301,17 +367,20 @@ func (s *Server) simulate(key string, circ *circuit.Circuit) (*entry, error) {
 		sim.WithManagerOptions(mgrOpts...),
 		sim.WithObservability(reg, tr))
 	stopBuild()
+	bsp.End(errAttrs(err))
 	if err != nil {
 		return nil, err
 	}
 	stopApply := obs.StartPhase(reg, tr, obs.PhaseApply)
+	asp := rt.StartSpan(obs.PhaseApply)
 	edge, err := ds.RunContext(ctx)
 	stopApply()
+	asp.End(errAttrs(err))
 	if err != nil {
 		return nil, err
 	}
 	stopFreeze := obs.StartPhase(reg, tr, obs.PhaseFreeze)
-	snap, err := ds.Manager().Freeze(edge)
+	snap, err := ds.Manager().FreezeContext(ctx, edge)
 	stopFreeze()
 	if err != nil {
 		return nil, err
@@ -320,6 +389,15 @@ func (s *Server) simulate(key string, circ *circuit.Circuit) (*entry, error) {
 	reg.Gauge("snapshot_bytes").Set(int64(snap.Bytes()))
 	s.persist(key, snap)
 	return newEntry(key, snap, time.Since(begin))
+}
+
+// errAttrs renders an error as span attributes (nil for success, so the
+// success path allocates nothing beyond the span itself).
+func errAttrs(err error) map[string]any {
+	if err == nil {
+		return nil
+	}
+	return map[string]any{"error": err.Error()}
 }
 
 // persist writes a freshly frozen snapshot to the store. Persistence is
@@ -376,11 +454,26 @@ func (s *Server) warmRestart() {
 }
 
 // lookup resolves the cache entry for a circuit: hit, join, or simulate.
+//
+// Trace flow through the single flight: the leader request's trace rides
+// into the pool worker, which records the queue-wait span and then runs the
+// compute. The compute closure takes a span mark first, so SpansSince(mark)
+// is exactly the simulation's spans (build/apply/freeze) — published on the
+// flight for coalesced waiters to adopt as shared spans. The publish happens
+// before the flight resolves (run → finish → close(done)), which is the
+// happens-before edge the waiters' reads rely on.
 func (s *Server) lookup(ctx context.Context, key string, circ *circuit.Circuit) (*entry, bool, error) {
+	rt := obs.TraceFromContext(ctx)
 	return s.cache.getOrCompute(ctx, key, func(fl *flight) error {
-		return s.pool.submit(func() {
+		return s.pool.submitWith(rt, func() {
+			mark := rt.Mark()
 			s.cache.run(key, fl, func() (*entry, error) {
-				return s.simulate(key, circ)
+				ent, err := s.simulate(rt, key, circ)
+				if err == nil {
+					fl.traceID = rt.ID()
+					fl.spans = rt.SpansSince(mark)
+				}
+				return ent, err
 			})
 		})
 	})

@@ -1,0 +1,272 @@
+package serve
+
+// SLO engine: per-endpoint latency objectives and availability error
+// budgets, with multi-window burn rates.
+//
+// The vocabulary is the standard SRE one. An SLO names a target fraction of
+// "good" requests (e.g. 99.9% non-5xx, 99% under the latency objective);
+// the complement is the error budget. The burn rate over a window is
+//
+//	burn = (bad fraction in window) / (1 - target)
+//
+// so burn 1.0 spends the budget exactly at the sustainable rate, and burn
+// 14.4 over 5 minutes is the classic "page now" fast burn: kept up, it
+// exhausts a 30-day budget in ~2 hours. /v1/slo reports both a fast (5m)
+// and a slow (1h) window per endpoint; the fast window crossing the
+// threshold additionally TRIPS the flight recorder, so by the time a human
+// looks, the spans of the requests that burned the budget are already on
+// disk.
+//
+// Bookkeeping is a per-endpoint ring of 15-second buckets (240 buckets =
+// 1h). Each request completion increments one bucket; window tallies scan
+// at most 240 epoch-tagged buckets, so stale buckets from an idle hour
+// self-invalidate without a sweeper goroutine.
+
+import (
+	"sync"
+	"time"
+
+	"weaksim/internal/obs"
+)
+
+// SLO is one endpoint's objectives.
+type SLO struct {
+	// Endpoint is the request path the objectives apply to ("/v1/sample").
+	Endpoint string `json:"endpoint"`
+	// LatencyObjective is the per-request latency threshold; requests at or
+	// under it are "fast".
+	LatencyObjective time.Duration `json:"-"`
+	// LatencyTarget is the fraction of requests that must be fast
+	// (e.g. 0.99).
+	LatencyTarget float64 `json:"latency_target"`
+	// AvailabilityTarget is the fraction of requests that must not fail
+	// with a 5xx status (e.g. 0.999). Load-shed 4xx answers (429) are
+	// policy, not failure, and do not burn budget.
+	AvailabilityTarget float64 `json:"availability_target"`
+}
+
+// DefaultSLOs returns the stock objectives: /v1/sample gets a latency
+// objective of half the request timeout (a request that needs the full
+// deadline is not "fast"), the cheap read endpoints get 50ms.
+func DefaultSLOs(requestTimeout time.Duration) []SLO {
+	sampleObj := requestTimeout / 2
+	if sampleObj <= 0 {
+		sampleObj = DefaultRequestTimeout / 2
+	}
+	const readObj = 50 * time.Millisecond
+	return []SLO{
+		{Endpoint: "/v1/sample", LatencyObjective: sampleObj, LatencyTarget: 0.99, AvailabilityTarget: 0.999},
+		{Endpoint: "/v1/stats", LatencyObjective: readObj, LatencyTarget: 0.99, AvailabilityTarget: 0.999},
+		{Endpoint: "/v1/circuits", LatencyObjective: readObj, LatencyTarget: 0.99, AvailabilityTarget: 0.999},
+	}
+}
+
+// Window geometry. fastBuckets covers 5 minutes, the full ring 1 hour.
+const (
+	sloBucketSeconds = 15
+	sloRingBuckets   = 240 // 1h
+	sloFastBuckets   = 20  // 5m
+)
+
+// FastBurnThreshold is the 5m burn rate that trips the flight recorder —
+// the conventional fast-burn paging threshold (budget gone in ~2h if
+// sustained).
+const FastBurnThreshold = 14.4
+
+type sloBucket struct {
+	epoch             int64 // unix seconds / sloBucketSeconds; 0 = never used
+	total, errs, slow uint64
+}
+
+// sloState is one endpoint's objectives plus its bucket ring.
+type sloState struct {
+	spec     SLO
+	buckets  [sloRingBuckets]sloBucket
+	breached bool // rising-edge detector for recorder trips
+}
+
+// sloEngine evaluates the configured SLOs as requests complete. All methods
+// are safe for concurrent use; a nil engine is a no-op.
+type sloEngine struct {
+	mu       sync.Mutex
+	states   map[string]*sloState
+	order    []string // stable report order (config order)
+	recorder *obs.FlightRecorder
+	trips    *obs.Counter
+	now      func() time.Time // injectable clock for tests
+}
+
+func newSLOEngine(slos []SLO, rec *obs.FlightRecorder, reg *obs.Registry) *sloEngine {
+	e := &sloEngine{
+		states:   make(map[string]*sloState, len(slos)),
+		recorder: rec,
+		trips:    reg.Counter("serve_slo_trips_total"),
+		now:      time.Now,
+	}
+	for _, s := range slos {
+		if s.Endpoint == "" || s.LatencyTarget >= 1 || s.AvailabilityTarget >= 1 {
+			continue // a target of 1.0 has a zero budget: burn is undefined
+		}
+		if _, dup := e.states[s.Endpoint]; dup {
+			continue
+		}
+		e.states[s.Endpoint] = &sloState{spec: s}
+		e.order = append(e.order, s.Endpoint)
+	}
+	return e
+}
+
+// bucket returns the live bucket for now, resetting it when its epoch is
+// stale (ring wrap). Caller holds e.mu.
+func (st *sloState) bucket(now time.Time) *sloBucket {
+	epoch := now.Unix() / sloBucketSeconds
+	b := &st.buckets[epoch%sloRingBuckets]
+	if b.epoch != epoch {
+		*b = sloBucket{epoch: epoch}
+	}
+	return b
+}
+
+// tally sums the last n buckets ending at now. Caller holds e.mu.
+func (st *sloState) tally(now time.Time, n int) (total, errs, slow uint64) {
+	nowEpoch := now.Unix() / sloBucketSeconds
+	min := nowEpoch - int64(n) + 1
+	for i := range st.buckets {
+		b := &st.buckets[i]
+		if b.epoch >= min && b.epoch <= nowEpoch {
+			total += b.total
+			errs += b.errs
+			slow += b.slow
+		}
+	}
+	return total, errs, slow
+}
+
+// burnRates converts a window tally into availability and latency burn
+// rates. An empty window burns nothing.
+func (st *sloState) burnRates(total, errs, slow uint64) (availBurn, latBurn float64) {
+	if total == 0 {
+		return 0, 0
+	}
+	availBudget := 1 - st.spec.AvailabilityTarget
+	latBudget := 1 - st.spec.LatencyTarget
+	availBurn = (float64(errs) / float64(total)) / availBudget
+	latBurn = (float64(slow) / float64(total)) / latBudget
+	return availBurn, latBurn
+}
+
+// observe records one finished request and trips the flight recorder on a
+// rising fast-burn breach. Safe for concurrent use; nil engine and
+// unconfigured endpoints are no-ops.
+func (e *sloEngine) observe(endpoint string, dur time.Duration, status int) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	st := e.states[endpoint]
+	if st == nil {
+		e.mu.Unlock()
+		return
+	}
+	now := e.now()
+	b := st.bucket(now)
+	b.total++
+	isErr := status >= 500
+	if isErr {
+		b.errs++
+	}
+	isSlow := dur > st.spec.LatencyObjective
+	if isSlow {
+		b.slow++
+	}
+	availBurn, latBurn := st.burnRates(st.tally(now, sloFastBuckets))
+	breach := availBurn >= FastBurnThreshold || latBurn >= FastBurnThreshold
+	rising := breach && !st.breached
+	st.breached = breach
+	e.mu.Unlock()
+
+	if rising {
+		e.trips.Inc()
+		e.recorder.Trip("slo-breach", map[string]any{
+			"endpoint":          endpoint,
+			"availability_burn": availBurn,
+			"latency_burn":      latBurn,
+			"window":            "5m",
+			"status":            status,
+			"dur_ns":            dur.Nanoseconds(),
+		})
+	}
+}
+
+// sloWindowReport is one (endpoint, window) tally in the /v1/slo body.
+type sloWindowReport struct {
+	Requests         uint64  `json:"requests"`
+	Errors           uint64  `json:"errors"`
+	Slow             uint64  `json:"slow"`
+	AvailabilityBurn float64 `json:"availability_burn"`
+	LatencyBurn      float64 `json:"latency_burn"`
+}
+
+// sloEndpointReport is one endpoint's /v1/slo entry.
+type sloEndpointReport struct {
+	Endpoint           string                     `json:"endpoint"`
+	LatencyObjectiveMS float64                    `json:"latency_objective_ms"`
+	LatencyTarget      float64                    `json:"latency_target"`
+	AvailabilityTarget float64                    `json:"availability_target"`
+	Windows            map[string]sloWindowReport `json:"windows"`
+	// Budget remaining over the 1h window, as a fraction of the error
+	// budget (1 = untouched, 0 = exactly spent, negative = overdrawn).
+	AvailabilityBudgetRemaining float64 `json:"availability_budget_remaining"`
+	LatencyBudgetRemaining      float64 `json:"latency_budget_remaining"`
+	// Breached reports whether the endpoint is currently in a fast-burn
+	// breach (the flight recorder tripped when it began).
+	Breached bool `json:"breached"`
+}
+
+// sloReport is the GET /v1/slo body.
+type sloReport struct {
+	WindowSeconds map[string]int64    `json:"window_seconds"`
+	BurnThreshold float64             `json:"fast_burn_threshold"`
+	Trips         uint64              `json:"trips_total"`
+	SLOs          []sloEndpointReport `json:"slos"`
+}
+
+// report builds the /v1/slo body. Safe for concurrent use.
+func (e *sloEngine) report() sloReport {
+	rep := sloReport{
+		WindowSeconds: map[string]int64{
+			"5m": sloFastBuckets * sloBucketSeconds,
+			"1h": sloRingBuckets * sloBucketSeconds,
+		},
+		BurnThreshold: FastBurnThreshold,
+		SLOs:          []sloEndpointReport{},
+	}
+	if e == nil {
+		return rep
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rep.Trips = e.trips.Value()
+	now := e.now()
+	for _, ep := range e.order {
+		st := e.states[ep]
+		fastT, fastE, fastS := st.tally(now, sloFastBuckets)
+		slowT, slowE, slowS := st.tally(now, sloRingBuckets)
+		fastAB, fastLB := st.burnRates(fastT, fastE, fastS)
+		slowAB, slowLB := st.burnRates(slowT, slowE, slowS)
+		rep.SLOs = append(rep.SLOs, sloEndpointReport{
+			Endpoint:           ep,
+			LatencyObjectiveMS: float64(st.spec.LatencyObjective.Nanoseconds()) / 1e6,
+			LatencyTarget:      st.spec.LatencyTarget,
+			AvailabilityTarget: st.spec.AvailabilityTarget,
+			Windows: map[string]sloWindowReport{
+				"5m": {Requests: fastT, Errors: fastE, Slow: fastS, AvailabilityBurn: fastAB, LatencyBurn: fastLB},
+				"1h": {Requests: slowT, Errors: slowE, Slow: slowS, AvailabilityBurn: slowAB, LatencyBurn: slowLB},
+			},
+			AvailabilityBudgetRemaining: 1 - slowAB,
+			LatencyBudgetRemaining:      1 - slowLB,
+			Breached:                    st.breached,
+		})
+	}
+	return rep
+}

@@ -1,0 +1,332 @@
+package serve
+
+// Request-tracing acceptance tests: every response carries a trace ID,
+// inbound W3C traceparent headers are adopted, single-flight coalescing
+// shares simulation spans without merging trace identities, and the debug=1
+// phase breakdown accounts for a cold request's wall time.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+
+	"weaksim/internal/fault"
+	"weaksim/internal/obs"
+)
+
+var traceIDRe = regexp.MustCompile(`^[0-9a-f]{32}$`)
+
+// postTraced posts a sample request with optional extra headers and returns
+// the decoded response plus the response headers.
+func postTraced(t *testing.T, base string, body any, hdr map[string]string, out any) (int, http.Header) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/sample?debug=1", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	}
+	return resp.StatusCode, resp.Header
+}
+
+func TestServeTraceIDOnEveryResponse(t *testing.T) {
+	_, base := startServer(t, Config{})
+
+	// Success path.
+	var resp sampleResponse
+	status, hdr := postTraced(t, base, sampleBody(16, 1), nil, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	id := hdr.Get("X-Weaksim-Trace-Id")
+	if !traceIDRe.MatchString(id) {
+		t.Fatalf("trace header %q is not 32 lowercase hex digits", id)
+	}
+	if resp.Trace == nil || resp.Trace.TraceID != id {
+		t.Fatalf("debug trace body %+v does not echo header %q", resp.Trace, id)
+	}
+
+	// Error path: a 400 still carries the header.
+	var eb errorBody
+	status, hdr = postTraced(t, base, map[string]any{"qasm": "not qasm"}, nil, &eb)
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad request status %d", status)
+	}
+	if id := hdr.Get("X-Weaksim-Trace-Id"); !traceIDRe.MatchString(id) {
+		t.Fatalf("error response trace header %q", id)
+	}
+
+	// GET endpoints carry it too.
+	for _, path := range []string{"/v1/stats", "/v1/slo", "/healthz", "/readyz", "/v1/circuits"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("get %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if id := resp.Header.Get("X-Weaksim-Trace-Id"); !traceIDRe.MatchString(id) {
+			t.Fatalf("%s trace header %q", path, id)
+		}
+	}
+}
+
+func TestServeTraceparentAdoptedAndRejected(t *testing.T) {
+	_, base := startServer(t, Config{})
+
+	const inbound = "4bf92f3577b34da6a3ce929d0e0e4736"
+	var resp sampleResponse
+	_, hdr := postTraced(t, base, sampleBody(16, 1), map[string]string{
+		"traceparent": "00-" + inbound + "-00f067aa0ba902b7-01",
+	}, &resp)
+	if got := hdr.Get("X-Weaksim-Trace-Id"); got != inbound {
+		t.Fatalf("inbound traceparent not adopted: got %q want %q", got, inbound)
+	}
+
+	// Malformed headers mint fresh IDs instead of propagating garbage.
+	for _, bad := range []string{
+		"00-" + inbound + "-00f067aa0ba902b7",                     // missing flags
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace
+		"01-" + inbound + "-00f067aa0ba902b7-01",                  // unknown version
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", // uppercase
+	} {
+		_, hdr := postTraced(t, base, sampleBody(16, 1), map[string]string{"traceparent": bad}, nil)
+		got := hdr.Get("X-Weaksim-Trace-Id")
+		if !traceIDRe.MatchString(got) || got == inbound {
+			t.Fatalf("malformed traceparent %q yielded trace %q", bad, got)
+		}
+	}
+}
+
+func TestServeDisableRequestTracesOmitsHeader(t *testing.T) {
+	_, base := startServer(t, Config{DisableRequestTraces: true})
+	var resp sampleResponse
+	status, hdr := postTraced(t, base, sampleBody(16, 1), nil, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if id := hdr.Get("X-Weaksim-Trace-Id"); id != "" {
+		t.Fatalf("disabled tracing still sent header %q", id)
+	}
+	if resp.Trace != nil {
+		t.Fatalf("disabled tracing still echoed debug trace %+v", resp.Trace)
+	}
+}
+
+// TestServeTraceParallelCoalesce pins the single-flight trace contract under
+// -race: concurrent cold requests for one circuit coalesce onto one strong
+// simulation; every waiter keeps its own trace ID, but all of them reference
+// the SAME freeze span (identical span ID), with exactly one request — the
+// leader — owning it (shared=false).
+func TestServeTraceParallelCoalesce(t *testing.T) {
+	srv, base := startServer(t, Config{Metrics: obs.NewRegistry(), MaxSampleWorkers: 4})
+	// Slow the one simulation down so every client reliably arrives while
+	// the flight is still in progress. Process-global plan: no t.Parallel.
+	if err := fault.Enable("serve.sim:latency(250ms)@1", 1); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fault.Disable)
+
+	const clients = 8
+	type res struct {
+		trace string
+		resp  sampleResponse
+	}
+	results := make([]res, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var resp sampleResponse
+			status, hdr := postTraced(t, base, sampleBody(256, 2), nil, &resp)
+			if status != http.StatusOK {
+				t.Errorf("client %d: status %d", i, status)
+				return
+			}
+			results[i] = res{trace: hdr.Get("X-Weaksim-Trace-Id"), resp: resp}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	if sims := srv.Metrics().Counter("serve_sims_total").Value(); sims != 1 {
+		t.Fatalf("%d simulations ran, want 1 (single flight)", sims)
+	}
+
+	traces := make(map[string]bool)
+	freezeSpan := ""
+	owners, leaderTrace := 0, ""
+	for i, r := range results {
+		if traces[r.trace] {
+			t.Fatalf("client %d: duplicate trace ID %s", i, r.trace)
+		}
+		traces[r.trace] = true
+		if r.resp.Trace == nil {
+			t.Fatalf("client %d: no debug trace", i)
+		}
+		var freeze *obs.SpanRecord
+		for j := range r.resp.Trace.Spans {
+			if sp := &r.resp.Trace.Spans[j]; sp.Phase == obs.PhaseFreeze && sp.Kind == "span" {
+				if freeze != nil {
+					t.Fatalf("client %d: multiple freeze spans", i)
+				}
+				freeze = sp
+			}
+		}
+		if freeze == nil {
+			t.Fatalf("client %d: no freeze span (did the request miss the flight?)", i)
+		}
+		if freezeSpan == "" {
+			freezeSpan = freeze.SpanID
+		} else if freeze.SpanID != freezeSpan {
+			t.Fatalf("client %d: freeze span %s, want shared %s", i, freeze.SpanID, freezeSpan)
+		}
+		if !freeze.Shared {
+			owners++
+			leaderTrace = r.trace
+		} else if freeze.OriginTrace == "" {
+			t.Fatalf("client %d: shared freeze span missing origin_trace", i)
+		}
+	}
+	if owners != 1 {
+		t.Fatalf("%d requests own the freeze span, want exactly 1 leader", owners)
+	}
+	for i, r := range results {
+		if r.trace == leaderTrace {
+			continue
+		}
+		for _, sp := range r.resp.Trace.Spans {
+			if sp.Phase == obs.PhaseFreeze && sp.OriginTrace != leaderTrace {
+				t.Fatalf("client %d: origin_trace %s, want leader %s", i, sp.OriginTrace, leaderTrace)
+			}
+		}
+	}
+}
+
+// TestServeColdRequestPhaseSumMatchesWall is the acceptance criterion for
+// the breakdown's accounting: on a cold request the sequential phases —
+// parse, queue, build, apply, freeze, sample — tile the request, so their
+// sum must land within 5% of the client-observed wall time.
+func TestServeColdRequestPhaseSumMatchesWall(t *testing.T) {
+	_, base := startServer(t, Config{})
+
+	// Warm the HTTP connection (and nothing else) so the measured request
+	// pays no dial/TLS setup: a different circuit key keeps the target cold.
+	var warm sampleResponse
+	if status, _ := postTraced(t, base, map[string]any{"circuit": "ghz_3", "shots": 16}, nil, &warm); status != http.StatusOK {
+		t.Fatalf("warmup status %d", status)
+	}
+
+	// Heavy enough that the traced phases dominate scheduling noise, yet
+	// with only 2^8 distinct outcomes so the untraced response encoding
+	// stays negligible: an 8-qubit QFT with a fat shot batch.
+	body := map[string]any{"circuit": "qft_8", "shots": 2_000_000, "seed": 7, "workers": 1}
+	var resp sampleResponse
+	begin := time.Now()
+	status, _ := postTraced(t, base, body, nil, &resp)
+	wall := time.Since(begin).Nanoseconds()
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if resp.Cached {
+		t.Fatal("request was not cold")
+	}
+	if resp.Trace == nil {
+		t.Fatal("no debug trace")
+	}
+	var sum int64
+	for phase, ns := range resp.Trace.PhaseNS {
+		if ns < 0 {
+			t.Fatalf("phase %s negative duration %d", phase, ns)
+		}
+		sum += ns
+	}
+	for _, phase := range []string{obs.PhaseParse, obs.PhaseQueue, obs.PhaseBuild, obs.PhaseApply, obs.PhaseFreeze, obs.PhaseSample} {
+		if _, ok := resp.Trace.PhaseNS[phase]; !ok {
+			t.Fatalf("cold breakdown missing phase %q: %v", phase, resp.Trace.PhaseNS)
+		}
+	}
+	if sum > wall {
+		t.Fatalf("phase sum %dns exceeds wall %dns", sum, wall)
+	}
+	if float64(sum) < 0.95*float64(wall) {
+		t.Fatalf("phase sum %dns accounts for only %.1f%% of wall %dns (want >= 95%%); breakdown %v",
+			sum, 100*float64(sum)/float64(wall), wall, resp.Trace.PhaseNS)
+	}
+}
+
+func TestServeStatsEndpointPercentiles(t *testing.T) {
+	_, base := startServer(t, Config{Metrics: obs.NewRegistry()})
+	for i := 0; i < 5; i++ {
+		var resp sampleResponse
+		if status, _ := postTraced(t, base, sampleBody(64, 1), nil, &resp); status != http.StatusOK {
+			t.Fatalf("status %d", status)
+		}
+	}
+	var stats statsResponse
+	if status := getJSON(t, base+"/v1/stats", &stats); status != http.StatusOK {
+		t.Fatalf("stats status %d", status)
+	}
+	ep, ok := stats.Endpoints["/v1/sample"]
+	if !ok {
+		t.Fatalf("no /v1/sample endpoint stats: %+v", stats.Endpoints)
+	}
+	if ep.Requests != 5 {
+		t.Fatalf("endpoint requests %d, want 5", ep.Requests)
+	}
+	if ep.P50MS <= 0 || ep.P95MS < ep.P50MS || ep.P99MS < ep.P95MS {
+		t.Fatalf("percentiles not monotone positive: p50=%v p95=%v p99=%v", ep.P50MS, ep.P95MS, ep.P99MS)
+	}
+}
+
+func TestServeFlightEndpointStreamsJSONL(t *testing.T) {
+	_, base := startServer(t, Config{})
+	var resp sampleResponse
+	if status, _ := postTraced(t, base, sampleBody(16, 1), nil, &resp); status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	httpResp, err := http.Get(base + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if ct := httpResp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	dec := json.NewDecoder(httpResp.Body)
+	records, sawServe := 0, false
+	for dec.More() {
+		var rec obs.FlightRecord
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatalf("record %d: %v", records, err)
+		}
+		if rec.Phase == obs.PhaseServe && rec.Name == "/v1/sample" {
+			sawServe = true
+		}
+		records++
+	}
+	if records == 0 || !sawServe {
+		t.Fatalf("flight dump has %d records, sawServe=%v", records, sawServe)
+	}
+}

@@ -70,6 +70,18 @@ func ServeDebug(addr string, reg *Metrics) (*DebugServer, error) {
 	return obs.ServeDebug(addr, reg)
 }
 
+// CaptureRuntime scrapes Go runtime health into reg: heap alloc/sys bytes,
+// goroutine count, GOMAXPROCS, cumulative GC runs, and a GC pause-duration
+// histogram (go_gc_pause_ns). The daemon's debug server calls it on every
+// /metrics scrape; library users embedding a registry call it right before
+// Snapshot or WritePrometheus.
+func CaptureRuntime(reg *Metrics) { obs.CaptureRuntime(reg) }
+
+// RegisterMetricHelp attaches a # HELP description to a metric name in the
+// Prometheus text exposition. The built-in serve_/dd_/go_ metrics ship with
+// descriptions already; use this for application-defined metrics.
+func RegisterMetricHelp(name, help string) { obs.RegisterHelp(name, help) }
+
 // Telemetry is the machine-readable per-circuit summary: per-phase
 // durations, peak DD nodes, and the cache hit rates that explain DD
 // simulator performance. It marshals cleanly with encoding/json.

@@ -731,6 +731,15 @@ type ServeConfig struct {
 	// daemon serves previously simulated circuits from disk with zero
 	// strong simulations. Corrupt files are quarantined and re-simulated.
 	SnapshotDir string
+	// FlightDir, when non-empty, receives flight-recorder ring dumps
+	// (JSONL of recent request spans) when the daemon trips on a panic, an
+	// injected fault, or an SLO fast-burn breach. Empty keeps dumps
+	// HTTP-only (GET /debug/flight).
+	FlightDir string
+	// DisableRequestTraces turns off per-request span collection: no
+	// X-Weaksim-Trace-Id response header, no debug=1 breakdown. The
+	// disabled path allocates nothing per request.
+	DisableRequestTraces bool
 }
 
 // Daemon is a running sampling-as-a-service instance (see Serve).
@@ -750,20 +759,22 @@ type Daemon struct{ inner *serve.Server }
 func Serve(sc ServeConfig, opts ...Option) (*Daemon, error) {
 	cfg := newConfig(opts)
 	srv := serve.New(serve.Config{
-		Addr:             sc.Addr,
-		DebugAddr:        sc.DebugAddr,
-		Norm:             cfg.norm,
-		NodeBudget:       cfg.nodeBudget,
-		CacheBytes:       sc.CacheBytes,
-		QueueDepth:       sc.QueueDepth,
-		SimWorkers:       sc.SimWorkers,
-		MaxSampleWorkers: sc.MaxSampleWorkers,
-		MaxShots:         sc.MaxShots,
-		DefaultShots:     sc.DefaultShots,
-		RequestTimeout:   sc.RequestTimeout,
-		SnapshotDir:      sc.SnapshotDir,
-		Metrics:          cfg.reg,
-		Tracer:           cfg.tracer,
+		Addr:                 sc.Addr,
+		DebugAddr:            sc.DebugAddr,
+		Norm:                 cfg.norm,
+		NodeBudget:           cfg.nodeBudget,
+		CacheBytes:           sc.CacheBytes,
+		QueueDepth:           sc.QueueDepth,
+		SimWorkers:           sc.SimWorkers,
+		MaxSampleWorkers:     sc.MaxSampleWorkers,
+		MaxShots:             sc.MaxShots,
+		DefaultShots:         sc.DefaultShots,
+		RequestTimeout:       sc.RequestTimeout,
+		SnapshotDir:          sc.SnapshotDir,
+		FlightDir:            sc.FlightDir,
+		DisableRequestTraces: sc.DisableRequestTraces,
+		Metrics:              cfg.reg,
+		Tracer:               cfg.tracer,
 	})
 	if err := srv.Start(); err != nil {
 		return nil, err
