@@ -62,6 +62,7 @@ chaos:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 30s ./internal/circuit/qasm
 	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime 30s ./internal/dd
+	$(GO) test -run '^$$' -fuzz FuzzMakeVNode -fuzztime 30s ./internal/dd
 
 # The sampling fast path benchmark watched for regressions (Section IV).
 bench:
@@ -77,14 +78,20 @@ bench:
 bench-frozen:
 	$(GO) test -run '^$$' -bench 'BenchmarkSampleLive|BenchmarkSampleFrozen' -benchtime 2000000x -count 3 .
 	$(GO) test -run '^$$' -bench 'BenchmarkFreeze' -benchtime 50x .
+	$(GO) test -run '^$$' -bench 'BenchmarkBuildFreeze' -benchtime 10x -count 3 .
 
 # CI perf regression gate: re-run BenchmarkSampleFrozen (3 runs, keep the
 # fastest) and compare against the slowest committed row per benchmark in
 # BENCH_FROZEN.txt with 25% tolerance. The min-vs-max asymmetry is what
 # keeps the gate quiet on hosts whose schedulers drift between runs while
 # still catching real slowdowns. See cmd/benchcheck for the knobs.
+# The second invocation gates the live-engine build+freeze path (arena
+# allocation, open-addressing unique tables, direct-mapped compute caches):
+# a whole-circuit strong simulation plus Freeze per iteration, so a storage
+# regression that per-shot sampling can't see still trips CI.
 bench-gate:
 	$(GO) run ./cmd/benchcheck
+	$(GO) run ./cmd/benchcheck -bench BenchmarkBuildFreeze -benchtime 10x
 
 # Statement coverage with an HTML-able profile.
 cover:

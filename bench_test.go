@@ -464,6 +464,39 @@ func BenchmarkStrongSimulation(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildFreeze measures the live pipeline end to end: translate and
+// apply every gate of the circuit (unique-table lookups, compute-cache
+// probes, node allocation — the storage layer's hot paths), then freeze the
+// final state into an immutable snapshot. This is the number the arena /
+// open-addressing storage refactor moves; the sampling benchmarks above only
+// exercise the frozen arrays. Gated in CI by cmd/benchcheck next to the
+// frozen-sampling rows.
+func BenchmarkBuildFreeze(b *testing.B) {
+	for _, name := range []string{"qft_16", "shor_33_2", "jellium_2x2", "supremacy_3x3_10"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			c, err := algo.Generate(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := sim.NewDD(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				edge, err := s.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Manager().Freeze(edge); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkOperatorFusion ablates the matrix-matrix composition trade-off
 // (paper reference [18]): strong simulation of a small Grover instance
 // stepwise vs with barrier-delimited operator fusion. In this

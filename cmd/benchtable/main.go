@@ -99,6 +99,15 @@ type benchRow struct {
 	// HitRates maps cache kind → hit rate in [0,1] after strong
 	// simulation: unique_v, unique_m, cache_mul, cache_add, cnum_intern.
 	HitRates map[string]float64 `json:"hit_rates,omitempty"`
+
+	// Storage-engine health after strong simulation: mean open-addressing
+	// probe length per unique-table lookup, direct-mapped compute-cache
+	// entries overwritten by collisions, node slabs allocated by the arenas,
+	// and arena slots recycled by GC and awaiting reuse.
+	UniqueProbeLen float64 `json:"unique_probe_len,omitempty"`
+	CacheEvictions uint64  `json:"cache_evictions,omitempty"`
+	ArenaSlabs     int     `json:"arena_slabs,omitempty"`
+	FreelistLen    int     `json:"freelist_len,omitempty"`
 }
 
 // benchDoc is the top-level BENCH_*.json document.
@@ -164,9 +173,9 @@ func run() error {
 	}
 	fmt.Printf("frozen column: freeze-then-sample over the immutable snapshot, %d worker(s)\n", nWorkers)
 	fmt.Println()
-	fmt.Printf("%-18s %6s | %8s %10s | %12s %9s %9s %6s | %9s\n",
-		"benchmark", "qubits", "vec size", "vec t[s]", "DD size", "live t[s]", "frz t[s]", "spdup", "sim t[s]")
-	fmt.Println(strings.Repeat("-", 104))
+	fmt.Printf("%-18s %6s | %8s %10s | %12s %9s %9s %6s | %9s %6s\n",
+		"benchmark", "qubits", "vec size", "vec t[s]", "DD size", "live t[s]", "frz t[s]", "spdup", "sim t[s]", "probe")
+	fmt.Println(strings.Repeat("-", 111))
 
 	doc := benchDoc{
 		GeneratedAt: time.Now().Format(time.RFC3339),
@@ -275,6 +284,23 @@ func hitRates(st dd.Stats) map[string]float64 {
 	return m
 }
 
+// meanProbeLen is the average slot-inspection count per unique-table lookup
+// — 1.0 means every lookup hit its home slot.
+func meanProbeLen(st dd.Stats) float64 {
+	if st.UniqueLookups == 0 {
+		return 0
+	}
+	return float64(st.UniqueProbeSteps) / float64(st.UniqueLookups)
+}
+
+// storageStats copies the arena/table health fields into the row.
+func storageStats(row *benchRow, st dd.Stats) {
+	row.UniqueProbeLen = meanProbeLen(st)
+	row.CacheEvictions = st.CacheEvictions
+	row.ArenaSlabs = st.ArenaSlabs
+	row.FreelistLen = st.FreelistLen
+}
+
 func runRow(name string, shots int, seed uint64, budget, ddBudget, workers int, timeout time.Duration, norm dd.Norm) (benchRow, error) {
 	row := benchRow{Name: name}
 	c, err := algo.Generate(name)
@@ -305,11 +331,12 @@ func runRow(name string, shots int, seed uint64, budget, ddBudget, workers int, 
 		// sampling column can run — the whole row is MO/TO, as in the
 		// paper's vector rows that never complete.
 		if mark, ok := cell(err); ok {
-			fmt.Printf("%-18s %6d | %8s %10s | %12s %9s %9s %6s | %9s\n",
-				name, c.NQubits, mark, mark, mark, mark, mark, "", mark)
+			fmt.Printf("%-18s %6d | %8s %10s | %12s %9s %9s %6s | %9s %6s\n",
+				name, c.NQubits, mark, mark, mark, mark, mark, "", mark, "")
 			row.Status = mark
 			row.PeakNodes = s.Manager().PeakNodes()
 			row.HitRates = hitRates(s.Manager().TableStats())
+			storageStats(&row, s.Manager().TableStats())
 			return row, nil
 		}
 		return row, err
@@ -322,6 +349,7 @@ func runRow(name string, shots int, seed uint64, budget, ddBudget, workers int, 
 	row.PeakNodes = m.PeakNodes()
 	row.StateNodes = nodeCount
 	row.HitRates = hitRates(m.TableStats())
+	storageStats(&row, m.TableStats())
 
 	// Vector-based column: expand amplitudes, square, prefix-sum, then
 	// binary-search sampling. The paper's time column covers prefix-sum
@@ -413,8 +441,8 @@ func runRow(name string, shots int, seed uint64, budget, ddBudget, workers int, 
 		}
 	}
 
-	fmt.Printf("%-18s %6d | %8s %10s | %12s %9s %9s %6s | %9.2f\n",
-		name, c.NQubits, vecCol, vecTime, ddSize, ddTime, frzTime, speedup, simTime.Seconds())
+	fmt.Printf("%-18s %6d | %8s %10s | %12s %9s %9s %6s | %9.2f %6.2f\n",
+		name, c.NQubits, vecCol, vecTime, ddSize, ddTime, frzTime, speedup, simTime.Seconds(), row.UniqueProbeLen)
 	return row, nil
 }
 

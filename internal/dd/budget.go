@@ -39,7 +39,7 @@ func (m *Manager) SetNodeBudget(n int) { m.nodeBudget = n }
 // the peak-node high-water mark.
 func (m *Manager) LiveNodes() int {
 	m.refreshPeak()
-	return len(m.vUnique) + len(m.mUnique)
+	return m.vTab.n + m.mTab.n
 }
 
 // PeakNodes returns the high-water mark of LiveNodes over the Manager's
@@ -59,7 +59,7 @@ func (m *Manager) PeakNodes() int {
 // refresh defensively so snapshots can never under-report, even if a future
 // growth path forgets the bookkeeping.
 func (m *Manager) refreshPeak() {
-	if live := len(m.vUnique) + len(m.mUnique); live > m.peakNodes {
+	if live := m.vTab.n + m.mTab.n; live > m.peakNodes {
 		m.peakNodes = live
 	}
 }
@@ -83,10 +83,10 @@ type budgetAbort struct{ live, budget int }
 
 // noteGrowth records the table high-water mark and aborts the in-flight
 // operation when a configured node budget is exceeded. It is called on the
-// unique-table miss path only, so the per-node cost is two map length reads
-// on an already-allocating path.
+// unique-table miss path only, so the per-node cost is two table-count reads
+// on a path that already did the insert work.
 func (m *Manager) noteGrowth() {
-	live := len(m.vUnique) + len(m.mUnique)
+	live := m.vTab.n + m.mTab.n
 	if live > m.peakNodes {
 		m.peakNodes = live
 	}
@@ -105,8 +105,9 @@ func (m *Manager) noteGrowth() {
 // returned ErrNodeBudget. All other panics propagate unchanged. Drivers wrap
 // each growth point (operator construction, matrix-vector products) in
 // Guarded; on ErrNodeBudget the diagram state visible to the caller is
-// unchanged — partially built product nodes remain in the unique tables as
-// garbage until the next GC, but no caller-held edge is invalidated.
+// unchanged — partially built product nodes remain in the unique tables (and
+// their arena slots allocated) as garbage until the next GC reclaims them,
+// but no caller-held edge is invalidated.
 func (m *Manager) Guarded(f func() error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {

@@ -98,9 +98,10 @@ func Pos(q int) Control { return Control{Qubit: q} }
 // Neg is shorthand for a negative control on qubit q.
 func Neg(q int) Control { return Control{Qubit: q, Negative: true} }
 
-// DefaultCacheSize bounds each compute cache (entries). When a cache grows
-// past the bound it is flushed wholesale; correctness never depends on cache
-// contents.
+// DefaultCacheSize bounds each compute cache (entries). Each cache is a
+// direct-mapped table whose slot count is the power-of-two floor of this
+// bound; colliding entries overwrite each other. Correctness never depends
+// on cache contents.
 const DefaultCacheSize = 1 << 20
 
 // DefaultGCThreshold is the unique-table size past which ShouldGC reports
@@ -113,13 +114,20 @@ type Manager struct {
 	norm    Norm
 	ctab    *cnum.Table
 
-	vUnique map[vKey]*VNode
-	mUnique map[mKey]*MNode
+	// Node storage: all nodes live in per-manager slab arenas; canonicity
+	// goes through open-addressing unique tables over the arena nodes.
+	varena vArena
+	marena mArena
+	vTab   vTable
+	mTab   mTable
 
-	mulCache  map[mulKey]VEdge
-	addCache  map[addKey]VEdge
-	mops      *matOps
-	cacheSize int
+	// Compute caches: fixed-size direct-mapped tables, lazily allocated on
+	// first insert, invalidated per-slot via cacheEpoch (bumped by GC).
+	mulCache   mulCache
+	addCache   addCache
+	mops       *matOps
+	cacheSize  int
+	cacheEpoch uint32
 
 	gcThreshold int
 	nodeBudget  int // 0 = unlimited; see WithNodeBudget
@@ -134,6 +142,11 @@ type Manager struct {
 	mulMisses      uint64
 	addHits        uint64
 	addMisses      uint64
+	matHits        uint64 // matrix-op caches (MulMM/AddMM/Adjoint) combined
+	matMisses      uint64
+	uniqueProbes   uint64 // cumulative unique-table slot inspections
+	uniqueLookups  uint64 // unique-table lookups (v + m)
+	cacheEvictions uint64 // compute-cache entries overwritten by collisions
 	gcRuns         uint64
 }
 
@@ -171,18 +184,21 @@ func New(nqubits int, opts ...Option) *Manager {
 		nqubits:     nqubits,
 		norm:        NormL2Phase,
 		ctab:        cnum.NewTable(),
-		vUnique:     make(map[vKey]*VNode, 1024),
-		mUnique:     make(map[mKey]*MNode, 1024),
+		vTab:        newVTable(),
+		mTab:        newMTable(),
 		cacheSize:   DefaultCacheSize,
 		gcThreshold: DefaultGCThreshold,
+		cacheEpoch:  1, // zero-valued cache entries (epoch 0) never match
 	}
 	for _, o := range opts {
 		o(m)
 	}
-	m.mulCache = make(map[mulKey]VEdge, 1024)
-	m.addCache = make(map[addKey]VEdge, 1024)
 	return m
 }
+
+// cacheSlots returns the per-cache slot count derived from the configured
+// cacheSize bound.
+func (m *Manager) cacheSlots() int { return cacheSlotsFor(m.cacheSize) }
 
 // Qubits returns the number of qubits the Manager was created for.
 func (m *Manager) Qubits() int { return m.nqubits }
@@ -199,14 +215,22 @@ func (m *Manager) Lookup(c cnum.Complex) cnum.Complex { return m.ctab.Lookup(c) 
 
 // Stats reports the current table and cache occupancy.
 type Stats struct {
-	VNodes, MNodes       int
-	PeakNodes            int
+	VNodes, MNodes int
+	PeakNodes      int
+	// MulEntries/AddEntries report the allocated direct-mapped slot count
+	// of the matrix-vector and vector-add caches (0 until first use).
 	MulEntries           int
 	AddEntries           int
 	VHits, VMisses       uint64
 	MHits, MMisses       uint64
 	MulHits, MulMisses   uint64
 	AddHits, AddMisses   uint64
+	MatHits, MatMisses   uint64 // matrix-op caches (MulMM/AddMM/Adjoint)
+	UniqueProbeSteps     uint64 // cumulative unique-table slot inspections
+	UniqueLookups        uint64 // unique-table lookups across both tables
+	CacheEvictions       uint64 // compute-cache entries overwritten by collisions
+	ArenaSlabs           int    // allocated node slabs across both arenas
+	FreelistLen          int    // recycled-and-unused arena slots
 	GCRuns               uint64
 	ComplexTableEntries  int
 	ComplexHits, CMisses uint64
@@ -219,13 +243,19 @@ func (m *Manager) TableStats() Stats {
 	m.refreshPeak()
 	ch, cm := m.ctab.Stats()
 	return Stats{
-		VNodes: len(m.vUnique), MNodes: len(m.mUnique),
+		VNodes: m.vTab.n, MNodes: m.mTab.n,
 		PeakNodes:  m.peakNodes,
-		MulEntries: len(m.mulCache), AddEntries: len(m.addCache),
+		MulEntries: len(m.mulCache.entries), AddEntries: len(m.addCache.entries),
 		VHits: m.vHits, VMisses: m.vMisses,
 		MHits: m.mHits, MMisses: m.mMisses,
 		MulHits: m.mulHits, MulMisses: m.mulMisses,
 		AddHits: m.addHits, AddMisses: m.addMisses,
+		MatHits: m.matHits, MatMisses: m.matMisses,
+		UniqueProbeSteps:    m.uniqueProbes,
+		UniqueLookups:       m.uniqueLookups,
+		CacheEvictions:      m.cacheEvictions,
+		ArenaSlabs:          len(m.varena.slabs) + len(m.marena.slabs),
+		FreelistLen:         len(m.varena.free) + len(m.marena.free),
 		GCRuns:              m.gcRuns,
 		ComplexTableEntries: m.ctab.Len(),
 		ComplexHits:         ch, CMisses: cm,

@@ -11,7 +11,9 @@ type VNode struct {
 	// E holds the 0-successor and 1-successor edges.
 	E [2]VEdge
 
-	gen uint32 // GC mark, managed by Manager.GC
+	hash uint64 // unique-table hash of (V, E), computed once at creation
+	id   int32  // arena slot index, stable for the Manager's lifetime
+	gen  uint32 // GC mark, managed by Manager.GC
 }
 
 // VEdge is a weighted edge to a vector node. The zero value is the zero
@@ -35,7 +37,9 @@ type MNode struct {
 	V int
 	E [4]MEdge
 
-	gen uint32
+	hash uint64 // unique-table hash of (V, E), computed once at creation
+	id   int32  // arena slot index, stable for the Manager's lifetime
+	gen  uint32
 	// ident marks nodes whose sub-matrix is exactly the identity; the
 	// multiply routines shortcut them. Computed once at node creation.
 	ident bool
@@ -57,28 +61,3 @@ func (e MEdge) IsZero() bool { return e.W.IsZero() }
 
 // IsTerminal reports whether e points to the terminal.
 func (e MEdge) IsTerminal() bool { return e.N == nil }
-
-// vKey identifies a vector node in the unique table. Weights are interned
-// before key construction, so float equality is exact.
-type vKey struct {
-	v      int
-	w0, w1 cnum.Complex
-	n0, n1 *VNode
-}
-
-// mKey identifies a matrix node in the unique table.
-type mKey struct {
-	v int
-	w [4]cnum.Complex
-	n [4]*MNode
-}
-
-type mulKey struct {
-	m *MNode
-	v *VNode
-}
-
-type addKey struct {
-	a, b  *VNode
-	ratio cnum.Complex
-}

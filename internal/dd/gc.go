@@ -8,7 +8,7 @@ import "weaksim/internal/fault"
 // drivers call this between gate applications and run GC with their live
 // roots when it returns true.
 func (m *Manager) ShouldGC() bool {
-	live := len(m.vUnique) + len(m.mUnique)
+	live := m.vTab.n + m.mTab.n
 	if m.nodeBudget > 0 && live > m.nodeBudget {
 		return true
 	}
@@ -16,13 +16,17 @@ func (m *Manager) ShouldGC() bool {
 }
 
 // GC removes all nodes not reachable from the given roots from the unique
-// tables and flushes the compute caches. Surviving node pointers remain
-// valid; only dead hash-cons entries are dropped, so subsequent MakeVNode
-// calls for live structures still deduplicate correctly.
+// tables, returns their arena slots to the free lists, and invalidates the
+// compute caches (per-slot, by bumping the cache epoch — the entry arrays
+// themselves are untouched). Surviving node pointers remain valid and keep
+// their hash-cons identity, so subsequent MakeVNode calls for live
+// structures still deduplicate correctly.
 //
-// Callers must pass every DD they intend to keep using. Edges not listed
-// remain structurally intact (Go's GC owns the memory) but lose their
-// sharing guarantees.
+// Callers must pass every DD they intend to keep using. Edges not listed are
+// DEAD after GC returns: their nodes' arena slots go onto the free list and
+// may be reissued to brand-new nodes by the next MakeVNode, so dereferencing
+// an unlisted edge reads unrelated (or freed) structure. This is stricter
+// than the pre-arena engine, which left unlisted nodes to the Go GC.
 func (m *Manager) GC(keepV []VEdge, keepM []MEdge) (removedV, removedM int) {
 	// GC has no error return: an injected err here escalates to a panic, the
 	// strongest outcome the chaos suite can demand of this point.
@@ -37,22 +41,12 @@ func (m *Manager) GC(keepV []VEdge, keepM []MEdge) (removedV, removedM int) {
 	for _, e := range keepM {
 		m.markM(e.N)
 	}
-	for k, n := range m.vUnique {
-		if n.gen != m.gen {
-			delete(m.vUnique, k)
-			removedV++
-		}
-	}
-	for k, n := range m.mUnique {
-		if n.gen != m.gen {
-			delete(m.mUnique, k)
-			removedM++
-		}
-	}
-	// Caches may reference removed nodes; drop them wholesale.
-	m.mulCache = make(map[mulKey]VEdge, 1024)
-	m.addCache = make(map[addKey]VEdge, 1024)
-	m.mops = nil
+	removedV = m.vTab.sweep(m.gen, &m.varena)
+	removedM = m.mTab.sweep(m.gen, &m.marena)
+	// Cached results may name nodes whose slots were just recycled; bumping
+	// the epoch invalidates every entry lazily, in O(1), without touching
+	// the arrays.
+	m.cacheEpoch++
 	m.noteGC(removedV, removedM)
 	return removedV, removedM
 }

@@ -43,6 +43,8 @@ const (
 	CheckLevels     = "levels"     // children sit exactly one level down
 	CheckNormRule   = "norm_rule"  // edge weights obey the active normalization
 	CheckCanonicity = "canonicity" // every reachable node is hash-consed in the unique table
+	CheckArena      = "arena"      // every node occupies its own arena slot; free slots are truly dead
+	CheckTable      = "table"      // unique-table slots, stored hashes, and counts are coherent
 	CheckPostOrder  = "post_order" // snapshot children carry smaller indices
 	CheckP0Range    = "p0_range"   // branch thresholds lie in [0, 1]
 	CheckThreshold  = "threshold"  // P0 matches the active sampling rule
@@ -118,12 +120,18 @@ func (m *Manager) CheckInvariants(root VEdge) (err error) {
 		if err := checkNormWeights(m.norm, n.V, n.E[0].W, n.E[1].W); err != nil {
 			return 0, err
 		}
-		// Unique-table canonicity.
-		key := vKey{v: n.V, w0: n.E[0].W, w1: n.E[1].W, n0: n.E[0].N, n1: n.E[1].N}
-		if got, ok := m.vUnique[key]; !ok || got != n {
+		// Unique-table canonicity: re-derive the hash from the node's
+		// structure (a stale stored hash must not mask a violation) and
+		// demand the probe sequence resolves to this very node.
+		h := vNodeHash(n.V, n.E[0], n.E[1])
+		if got, _, _ := m.vTab.lookup(h, n.V, n.E[0], n.E[1]); got != n {
 			return 0, violated(CheckCanonicity,
-				"level %d node %p is not the unique-table entry for its structure (found %p, present %t)",
-				n.V, n, got, ok)
+				"level %d node %p is not the unique-table entry for its structure (found %p)",
+				n.V, n, got)
+		}
+		// Arena residency: the node must occupy the slot its id names.
+		if n.id < 0 || n.id >= m.varena.len() || m.varena.at(n.id) != n {
+			return 0, violated(CheckArena, "level %d node %p claims arena slot %d it does not occupy", n.V, n, n.id)
 		}
 		var d float64
 		for b := 0; b < 2; b++ {
@@ -149,6 +157,116 @@ func (m *Manager) CheckInvariants(root VEdge) (err error) {
 	}
 	if mass := root.W.Abs2() * rootDown; math.Abs(mass-1) > InvariantTol {
 		return violated(CheckMass, "total probability mass %.12f, want 1 ± %g", mass, InvariantTol)
+	}
+	return nil
+}
+
+// CheckStorage audits the node-storage layer wholesale: every unique-table
+// slot must hold a node that occupies its own arena slot, stores the hash of
+// its own structure, and is found again by its probe sequence; every
+// free-list entry must name a truly dead slot (freed level marker, cleared
+// successors, no duplicates); and the accounting identity
+//
+//	table-resident nodes + free slots == arena slots ever issued
+//
+// must hold for both node kinds — i.e. no node is leaked outside the table
+// and no slot is simultaneously live and free. The audit is O(table slots +
+// free list) and read-only. Freeze runs it on every call, so corruption in
+// the storage layer is caught at the same trust boundary as a corrupt
+// snapshot.
+func (m *Manager) CheckStorage() (err error) {
+	stop := m.startVerify("check-storage")
+	defer func() { stop(err) }()
+	if err := m.checkVStorage(); err != nil {
+		return err
+	}
+	return m.checkMStorage()
+}
+
+func (m *Manager) checkVStorage() error {
+	occupied := 0
+	for slot, c := range m.vTab.slots {
+		if c == nil {
+			continue
+		}
+		occupied++
+		if c.id < 0 || c.id >= m.varena.len() || m.varena.at(c.id) != c {
+			return violated(CheckArena, "v-table slot %d node %p claims arena slot %d it does not occupy", slot, c, c.id)
+		}
+		if c.V == freedLevel {
+			return violated(CheckTable, "v-table slot %d references freed arena slot %d", slot, c.id)
+		}
+		if h := vNodeHash(c.V, c.E[0], c.E[1]); c.hash != h {
+			return violated(CheckTable, "v-table slot %d node %p stored hash %#x, structure hashes to %#x", slot, c, c.hash, h)
+		}
+		if got, _, _ := m.vTab.lookup(c.hash, c.V, c.E[0], c.E[1]); got != c {
+			return violated(CheckTable, "v-table slot %d node %p unreachable from its probe sequence (lookup found %p)", slot, c, got)
+		}
+	}
+	if occupied != m.vTab.n {
+		return violated(CheckTable, "v-table count %d, but %d slots occupied", m.vTab.n, occupied)
+	}
+	onFree := make([]bool, m.varena.len())
+	for _, id := range m.varena.free {
+		if id < 0 || id >= m.varena.len() {
+			return violated(CheckArena, "v-free-list names slot %d outside the arena (%d issued)", id, m.varena.len())
+		}
+		if onFree[id] {
+			return violated(CheckArena, "v-free-list names slot %d twice", id)
+		}
+		onFree[id] = true
+		n := m.varena.at(id)
+		if n.id != id || n.V != freedLevel || n.E != [2]VEdge{} {
+			return violated(CheckArena, "v-free-list slot %d still carries structure (level %d)", id, n.V)
+		}
+	}
+	if got := m.vTab.n + len(m.varena.free); got != int(m.varena.len()) {
+		return violated(CheckArena, "v-node accounting: %d table-resident + %d free != %d issued",
+			m.vTab.n, len(m.varena.free), m.varena.len())
+	}
+	return nil
+}
+
+func (m *Manager) checkMStorage() error {
+	occupied := 0
+	for slot, c := range m.mTab.slots {
+		if c == nil {
+			continue
+		}
+		occupied++
+		if c.id < 0 || c.id >= m.marena.len() || m.marena.at(c.id) != c {
+			return violated(CheckArena, "m-table slot %d node %p claims arena slot %d it does not occupy", slot, c, c.id)
+		}
+		if c.V == freedLevel {
+			return violated(CheckTable, "m-table slot %d references freed arena slot %d", slot, c.id)
+		}
+		if h := mNodeHash(c.V, &c.E); c.hash != h {
+			return violated(CheckTable, "m-table slot %d node %p stored hash %#x, structure hashes to %#x", slot, c, c.hash, h)
+		}
+		if got, _, _ := m.mTab.lookup(c.hash, c.V, &c.E); got != c {
+			return violated(CheckTable, "m-table slot %d node %p unreachable from its probe sequence (lookup found %p)", slot, c, got)
+		}
+	}
+	if occupied != m.mTab.n {
+		return violated(CheckTable, "m-table count %d, but %d slots occupied", m.mTab.n, occupied)
+	}
+	onFree := make([]bool, m.marena.len())
+	for _, id := range m.marena.free {
+		if id < 0 || id >= m.marena.len() {
+			return violated(CheckArena, "m-free-list names slot %d outside the arena (%d issued)", id, m.marena.len())
+		}
+		if onFree[id] {
+			return violated(CheckArena, "m-free-list names slot %d twice", id)
+		}
+		onFree[id] = true
+		n := m.marena.at(id)
+		if n.id != id || n.V != freedLevel || n.E != [4]MEdge{} {
+			return violated(CheckArena, "m-free-list slot %d still carries structure (level %d)", id, n.V)
+		}
+	}
+	if got := m.mTab.n + len(m.marena.free); got != int(m.marena.len()) {
+		return violated(CheckArena, "m-node accounting: %d table-resident + %d free != %d issued",
+			m.mTab.n, len(m.marena.free), m.marena.len())
 	}
 	return nil
 }

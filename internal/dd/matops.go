@@ -1,34 +1,19 @@
 package dd
 
-import "weaksim/internal/cnum"
-
-// mmKey identifies a matrix-matrix product in the compute cache.
-type mmKey struct {
-	a, b *MNode
-}
-
-// maddKey identifies a matrix addition in the compute cache.
-type maddKey struct {
-	a, b  *MNode
-	ratio cnum.Complex
-}
-
-// matOps lazily holds the caches for matrix-matrix composition; most
-// simulations never compose operators, so the maps are created on first
-// use.
+// matOps lazily holds the direct-mapped caches for matrix-matrix
+// composition; most simulations never compose operators, so the struct (and
+// its entry arrays, allocated on first insert) only exists once an operator
+// algebra routine runs. The caches survive GC: entries are epoch-stamped and
+// lazily invalidated like every other compute cache.
 type matOps struct {
-	mul map[mmKey]MEdge
-	add map[maddKey]MEdge
-	adj map[*MNode]MEdge
+	mul mmCache
+	add maddCache
+	adj adjCache
 }
 
 func (m *Manager) matOpCaches() *matOps {
 	if m.mops == nil {
-		m.mops = &matOps{
-			mul: make(map[mmKey]MEdge, 1024),
-			add: make(map[maddKey]MEdge, 1024),
-			adj: make(map[*MNode]MEdge, 1024),
-		}
+		m.mops = &matOps{}
 	}
 	return m.mops
 }
@@ -57,13 +42,14 @@ func (m *Manager) mulMM(a, b MEdge, v int) MEdge {
 		return MEdge{W: m.ctab.Lookup(w), N: a.N}
 	}
 	ops := m.matOpCaches()
-	key := mmKey{a: a.N, b: b.N}
-	if r, ok := ops.mul[key]; ok {
+	if r, ok := ops.mul.get(m, a.N, b.N); ok {
+		m.matHits++
 		if r.IsZero() {
 			return MEdge{}
 		}
 		return MEdge{W: m.ctab.Lookup(r.W.Mul(w)), N: r.N}
 	}
+	m.matMisses++
 
 	var e [4]MEdge
 	for i := 0; i < 2; i++ {
@@ -75,10 +61,7 @@ func (m *Manager) mulMM(a, b MEdge, v int) MEdge {
 	}
 	r := m.makeMNode(v, e)
 
-	if len(ops.mul) >= m.cacheSize {
-		ops.mul = make(map[mmKey]MEdge, 1024)
-	}
-	ops.mul[key] = r
+	ops.mul.put(m, a.N, b.N, r)
 	if r.IsZero() {
 		return MEdge{}
 	}
@@ -106,13 +89,14 @@ func (m *Manager) addMM(a, b MEdge, v int) MEdge {
 	}
 	ops := m.matOpCaches()
 	ratio := m.ctab.Lookup(b.W.Div(a.W))
-	key := maddKey{a: a.N, b: b.N, ratio: ratio}
-	if r, ok := ops.add[key]; ok {
+	if r, ok := ops.add.get(m, a.N, b.N, ratio); ok {
+		m.matHits++
 		if r.IsZero() {
 			return MEdge{}
 		}
 		return MEdge{W: m.ctab.Lookup(r.W.Mul(a.W)), N: r.N}
 	}
+	m.matMisses++
 
 	var e [4]MEdge
 	for i := 0; i < 4; i++ {
@@ -121,10 +105,7 @@ func (m *Manager) addMM(a, b MEdge, v int) MEdge {
 	}
 	r := m.makeMNode(v, e)
 
-	if len(ops.add) >= m.cacheSize {
-		ops.add = make(map[maddKey]MEdge, 1024)
-	}
-	ops.add[key] = r
+	ops.add.put(m, a.N, b.N, ratio, r)
 	if r.IsZero() {
 		return MEdge{}
 	}
@@ -146,9 +127,11 @@ func (m *Manager) adjoint(a MEdge, v int) MEdge {
 		return MEdge{W: w}
 	}
 	ops := m.matOpCaches()
-	if r, ok := ops.adj[a.N]; ok {
+	if r, ok := ops.adj.get(m, a.N); ok {
+		m.matHits++
 		return MEdge{W: m.ctab.Lookup(r.W.Mul(w)), N: r.N}
 	}
+	m.matMisses++
 	var e [4]MEdge
 	for i := 0; i < 2; i++ {
 		for j := 0; j < 2; j++ {
@@ -157,9 +140,6 @@ func (m *Manager) adjoint(a MEdge, v int) MEdge {
 		}
 	}
 	r := m.makeMNode(v, e)
-	if len(ops.adj) >= m.cacheSize {
-		ops.adj = make(map[*MNode]MEdge, 1024)
-	}
-	ops.adj[a.N] = r
+	ops.adj.put(m, a.N, r)
 	return MEdge{W: m.ctab.Lookup(r.W.Mul(w)), N: r.N}
 }

@@ -23,6 +23,11 @@ type ddMetrics struct {
 	addHits, addMisses *obs.Counter
 	cnumHits, cnumMiss *obs.Counter
 
+	probeLen    *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	cacheEvict  *obs.Counter
+
 	gcRuns      *obs.Counter
 	gcReclaimed *obs.Counter
 	budgetHits  *obs.Counter
@@ -33,6 +38,8 @@ type ddMetrics struct {
 	liveNodes   *obs.Gauge
 	peakNodes   *obs.Gauge
 	cnumEntries *obs.Gauge
+	arenaSlabs  *obs.Gauge
+	freelistLen *obs.Gauge
 }
 
 // SetObserver attaches a metrics registry and tracer to the Manager.
@@ -41,14 +48,19 @@ type ddMetrics struct {
 //
 //	dd_unique_v_{hits,misses}_total    vector unique-table probes
 //	dd_unique_m_{hits,misses}_total    matrix unique-table probes
+//	dd_unique_probe_len                cumulative open-addressing probe steps
 //	dd_cache_mul_{hits,misses}_total   matrix-vector compute cache
 //	dd_cache_add_{hits,misses}_total   vector-add compute cache
+//	dd_cache_{hits,misses}_total       all compute caches combined
+//	dd_cache_evictions_total           direct-mapped entries overwritten
 //	cnum_intern_{hits,misses}_total    complex interning table
 //	cnum_table_entries                 distinct interned components (gauge)
 //	dd_gc_runs_total                   mark-and-sweep collections
 //	dd_gc_reclaimed_nodes_total        nodes reclaimed by GC
 //	dd_budget_pressure_total           node-budget aborts surfaced
 //	dd_live_nodes, dd_peak_nodes       live/high-water node gauges
+//	dd_arena_slabs                     allocated node slabs (gauge)
+//	dd_freelist_len                    recycled-and-unused arena slots (gauge)
 func (m *Manager) SetObserver(reg *obs.Registry, tr *obs.Tracer) {
 	if reg == nil && tr == nil {
 		m.obs = nil
@@ -67,6 +79,10 @@ func (m *Manager) SetObserver(reg *obs.Registry, tr *obs.Tracer) {
 		addMisses:   reg.Counter("dd_cache_add_misses_total"),
 		cnumHits:    reg.Counter("cnum_intern_hits_total"),
 		cnumMiss:    reg.Counter("cnum_intern_misses_total"),
+		probeLen:    reg.Counter("dd_unique_probe_len"),
+		cacheHits:   reg.Counter("dd_cache_hits_total"),
+		cacheMisses: reg.Counter("dd_cache_misses_total"),
+		cacheEvict:  reg.Counter("dd_cache_evictions_total"),
 		gcRuns:      reg.Counter("dd_gc_runs_total"),
 		gcReclaimed: reg.Counter("dd_gc_reclaimed_nodes_total"),
 		budgetHits:  reg.Counter("dd_budget_pressure_total"),
@@ -75,6 +91,8 @@ func (m *Manager) SetObserver(reg *obs.Registry, tr *obs.Tracer) {
 		liveNodes:   reg.Gauge("dd_live_nodes"),
 		peakNodes:   reg.Gauge("dd_peak_nodes"),
 		cnumEntries: reg.Gauge("cnum_table_entries"),
+		arenaSlabs:  reg.Gauge("dd_arena_slabs"),
+		freelistLen: reg.Gauge("dd_freelist_len"),
 	}
 	m.PublishMetrics()
 }
@@ -99,12 +117,18 @@ func (m *Manager) PublishMetrics() {
 	ch, cm := m.ctab.Stats()
 	o.cnumHits.Set(ch)
 	o.cnumMiss.Set(cm)
+	o.probeLen.Set(m.uniqueProbes)
+	o.cacheHits.Set(m.mulHits + m.addHits + m.matHits)
+	o.cacheMisses.Set(m.mulMisses + m.addMisses + m.matMisses)
+	o.cacheEvict.Set(m.cacheEvictions)
 	o.gcRuns.Set(m.gcRuns)
 	live := int64(m.LiveNodes())
 	o.liveNodes.Set(live)
 	o.peakNodes.SetMax(live)
 	o.peakNodes.SetMax(int64(m.peakNodes))
 	o.cnumEntries.Set(int64(m.ctab.Len()))
+	o.arenaSlabs.Set(int64(len(m.varena.slabs) + len(m.marena.slabs)))
+	o.freelistLen.Set(int64(len(m.varena.free) + len(m.marena.free)))
 }
 
 // noteGC records a finished garbage collection in the registry and emits a

@@ -21,7 +21,7 @@ func TestPeakNodesNeverStale(t *testing.T) {
 	for idx := uint64(1); idx < 8; idx++ {
 		e = m.Add(e, m.BasisState(idx))
 	}
-	live := len(m.vUnique) + len(m.mUnique)
+	live := m.vTab.n + m.mTab.n
 	if got := m.PeakNodes(); got < live {
 		t.Fatalf("PeakNodes() = %d under-reports live %d", got, live)
 	}

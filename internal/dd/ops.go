@@ -23,8 +23,7 @@ func (m *Manager) mulRec(op MEdge, st VEdge, v int) VEdge {
 		// Identity sub-operator: the sub-state passes through unchanged.
 		return VEdge{W: m.ctab.Lookup(w), N: st.N}
 	}
-	key := mulKey{m: op.N, v: st.N}
-	if r, ok := m.mulCache[key]; ok {
+	if r, ok := m.mulCache.get(m, op.N, st.N); ok {
 		m.mulHits++
 		if r.IsZero() {
 			return VEdge{}
@@ -41,10 +40,7 @@ func (m *Manager) mulRec(op MEdge, st VEdge, v int) VEdge {
 	}
 	r := m.makeVNode(v, rows[0], rows[1])
 
-	if len(m.mulCache) >= m.cacheSize {
-		m.mulCache = make(map[mulKey]VEdge, 1024)
-	}
-	m.mulCache[key] = r
+	m.mulCache.put(m, op.N, st.N, r)
 	if r.IsZero() {
 		return VEdge{}
 	}
@@ -75,8 +71,7 @@ func (m *Manager) addRec(a, b VEdge, v int) VEdge {
 	// weight ratio: a + b == a.W * (A + (b.W/a.W) * B) for the unit-weight
 	// sub-vectors A and B.
 	ratio := m.ctab.Lookup(b.W.Div(a.W))
-	key := addKey{a: a.N, b: b.N, ratio: ratio}
-	if r, ok := m.addCache[key]; ok {
+	if r, ok := m.addCache.get(m, a.N, b.N, ratio); ok {
 		m.addHits++
 		if r.IsZero() {
 			return VEdge{}
@@ -92,10 +87,7 @@ func (m *Manager) addRec(a, b VEdge, v int) VEdge {
 	}
 	r := m.makeVNode(v, sums[0], sums[1])
 
-	if len(m.addCache) >= m.cacheSize {
-		m.addCache = make(map[addKey]VEdge, 1024)
-	}
-	m.addCache[key] = r
+	m.addCache.put(m, a.N, b.N, ratio, r)
 	if r.IsZero() {
 		return VEdge{}
 	}

@@ -153,7 +153,7 @@ func (m *Manager) Freeze(root VEdge, opts ...FreezeOption) (*Snapshot, error) {
 	}
 	// Pre-size for the common case; the unique table bounds the reachable
 	// node count from above.
-	if n := len(m.vUnique); n > 0 {
+	if n := m.vTab.n; n > 0 {
 		hint := n
 		const maxHint = 1 << 20
 		if hint > maxHint {
@@ -164,14 +164,17 @@ func (m *Manager) Freeze(root VEdge, opts ...FreezeOption) (*Snapshot, error) {
 		s.origins = make([]*VNode, 0, hint)
 	}
 
-	idx := make(map[*VNode]int32, cap(s.nodes))
+	// Dedup via the arena: node ids are dense indices, so a flat scratch
+	// slice replaces the map[*VNode]int32 the pre-arena freeze paid one hash
+	// per visit for. Entries store index+1; 0 means unseen.
+	seen := make([]int32, m.varena.len())
 	var freeze func(n *VNode) int32
 	freeze = func(n *VNode) int32 {
 		if n == nil {
 			return SnapTerminal
 		}
-		if i, ok := idx[n]; ok {
-			return i
+		if i := seen[n.id]; i != 0 {
+			return i - 1
 		}
 		var sn SnapNode
 		sn.V = int32(n.V)
@@ -204,7 +207,7 @@ func (m *Manager) Freeze(root VEdge, opts ...FreezeOption) (*Snapshot, error) {
 		s.nodes = append(s.nodes, sn)
 		s.down = append(s.down, downMass)
 		s.origins = append(s.origins, n)
-		idx[n] = i
+		seen[n.id] = i + 1
 		return i
 	}
 	s.root = freeze(root.N)
@@ -224,9 +227,14 @@ func (m *Manager) Freeze(root VEdge, opts ...FreezeOption) (*Snapshot, error) {
 		}
 	}
 	// Freeze-time self-check: a snapshot that fails its own invariants must
-	// never reach a sampler (or a disk file). O(nodes), like the freeze.
+	// never reach a sampler (or a disk file), and a freeze over corrupted
+	// node storage (arena/table divergence) must fail equally loudly. Both
+	// audits are O(nodes), like the freeze itself.
 	stop := m.startVerify("freeze")
 	err := s.Verify()
+	if err == nil {
+		err = m.CheckStorage()
+	}
 	stop(err)
 	if err != nil {
 		return nil, fmt.Errorf("dd: freeze produced an invalid snapshot: %w", err)

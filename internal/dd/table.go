@@ -1,0 +1,277 @@
+package dd
+
+import "math"
+
+// Open-addressing unique tables.
+//
+// Hash-consing used to go through map[vKey]*VNode / map[mKey]*MNode: every
+// probe built a by-value key struct (up to 112 bytes for matrix nodes),
+// hashed it with the runtime's generic algorithm, and every insert copied the
+// key into the map's own storage — per-node overhead the DD literature calls
+// out as the decisive constant factor of a simulator. The replacement is a
+// plain linear-probing table over node pointers:
+//
+//   - The node IS the key. A candidate matches when its level and successor
+//     edges compare equal, which is the same equality the map key encoded
+//     (weights are interned before lookup, so struct comparison is exact).
+//   - Every node stores its hash (computed once, on the lookup that created
+//     it). Probes compare the 8-byte hash before touching edge structure,
+//     and table growth rehashes nothing.
+//   - Deletion happens only inside the GC sweep, which rebuilds the slot
+//     array from the surviving nodes — so the probe loop needs no tombstone
+//     branch, ever.
+//
+// Weight hashing canonicalizes -0.0 to +0.0 (f + 0 in IEEE arithmetic): the
+// old map compared float fields with ==, under which -0.0 == 0.0, and the
+// hash must respect that equality. NaN weights hash arbitrarily and compare
+// unequal to everything — exactly the old map behavior — so a NaN-weighted
+// probe walks to an empty slot and inserts a fresh node each time.
+//
+// Successor identity is hashed through the arena id rather than the pointer:
+// ids are dense, stable, and identical across runs for a deterministic
+// workload, which keeps probe sequences (and therefore probe-length metrics)
+// reproducible.
+
+// minTableSlots is the initial slot-array size (power of two).
+const minTableSlots = 1 << 10
+
+// maxLoadNum/maxLoadDen cap the load factor at 3/4 before doubling.
+const (
+	maxLoadNum = 3
+	maxLoadDen = 4
+)
+
+// mix64 is the SplitMix64 finalizer: a full-avalanche bijection over uint64.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// wbits canonicalizes a weight component for hashing: -0.0 + 0 is +0.0, so
+// both zeros (equal under ==) hash identically.
+func wbits(f float64) uint64 { return math.Float64bits(f + 0) }
+
+// vChild is the hash identity of a vector successor: the arena id, or an
+// all-ones sentinel for the terminal/zero target.
+func vChild(n *VNode) uint64 {
+	if n == nil {
+		return ^uint64(0)
+	}
+	return uint64(uint32(n.id))
+}
+
+// mChild is the matrix-successor analogue of vChild.
+func mChild(n *MNode) uint64 {
+	if n == nil {
+		return ^uint64(0)
+	}
+	return uint64(uint32(n.id))
+}
+
+// vNodeHash hashes the identity of a vector node: level plus both successor
+// edges. Called once per makeVNode; the result is stored on the node.
+func vNodeHash(v int, e0, e1 VEdge) uint64 {
+	h := mix64(uint64(v) ^ 0x9e3779b97f4a7c15)
+	h = mix64(h ^ wbits(e0.W.Re))
+	h = mix64(h ^ wbits(e0.W.Im))
+	h = mix64(h ^ vChild(e0.N))
+	h = mix64(h ^ wbits(e1.W.Re))
+	h = mix64(h ^ wbits(e1.W.Im))
+	h = mix64(h ^ vChild(e1.N))
+	return h
+}
+
+// mNodeHash hashes the identity of a matrix node: level plus all four
+// quadrant edges.
+func mNodeHash(v int, e *[4]MEdge) uint64 {
+	h := mix64(uint64(v) ^ 0x9e3779b97f4a7c15)
+	for i := range e {
+		h = mix64(h ^ wbits(e[i].W.Re))
+		h = mix64(h ^ wbits(e[i].W.Im))
+		h = mix64(h ^ mChild(e[i].N))
+	}
+	return h
+}
+
+// vTable is the vector unique table: linear probing over node pointers,
+// no tombstones (deletion is sweep-rebuild only).
+type vTable struct {
+	slots []*VNode // len is a power of two
+	n     int      // occupied slots
+}
+
+func newVTable() vTable { return vTable{slots: make([]*VNode, minTableSlots)} }
+
+// lookup probes for the node (v, e0, e1) under hash h. It returns the node
+// and its slot on a hit, or a nil node plus the insertion slot on a miss.
+// probes counts slot inspections (1 for a first-slot answer) and feeds the
+// dd_unique_probe_len metric.
+func (t *vTable) lookup(h uint64, v int, e0, e1 VEdge) (n *VNode, slot int, probes int) {
+	mask := uint64(len(t.slots) - 1)
+	i := h & mask
+	for p := 1; ; p++ {
+		c := t.slots[i]
+		if c == nil {
+			return nil, int(i), p
+		}
+		if c.hash == h && c.V == v && c.E[0] == e0 && c.E[1] == e1 {
+			return c, int(i), p
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// insert places n (hash already set) into the slot a lookup miss returned,
+// growing the table when the load factor passes 3/4.
+func (t *vTable) insert(slot int, n *VNode) {
+	t.slots[slot] = n
+	t.n++
+	if t.n*maxLoadDen > len(t.slots)*maxLoadNum {
+		t.grow(len(t.slots) * 2)
+	}
+}
+
+// grow rebuilds the slot array at the given power-of-two size. Stored hashes
+// make this a pure re-placement: nothing is rehashed.
+func (t *vTable) grow(size int) {
+	old := t.slots
+	t.slots = make([]*VNode, size)
+	for _, c := range old {
+		if c != nil {
+			t.place(c)
+		}
+	}
+}
+
+// place walks n's probe sequence to the first empty slot. Only called on
+// arrays known to have room.
+func (t *vTable) place(n *VNode) {
+	mask := uint64(len(t.slots) - 1)
+	i := n.hash & mask
+	for t.slots[i] != nil {
+		i = (i + 1) & mask
+	}
+	t.slots[i] = n
+}
+
+// sweep rebuilds the table keeping only nodes marked with gen, releasing the
+// rest to the arena's free list. Rebuilding (rather than deleting in place)
+// is what keeps the probe loop tombstone-free. The new array is sized to the
+// survivor count so a collection that reclaims most of the table also
+// returns its slot memory.
+func (t *vTable) sweep(gen uint32, a *vArena) (removed int) {
+	old := t.slots
+	t.slots = make([]*VNode, tableSizeFor(t.n-countDead(old, gen)))
+	t.n = 0
+	for _, c := range old {
+		if c == nil {
+			continue
+		}
+		if c.gen != gen {
+			a.release(c)
+			removed++
+			continue
+		}
+		t.place(c)
+		t.n++
+	}
+	return removed
+}
+
+func countDead(slots []*VNode, gen uint32) (dead int) {
+	for _, c := range slots {
+		if c != nil && c.gen != gen {
+			dead++
+		}
+	}
+	return dead
+}
+
+// tableSizeFor returns the smallest power-of-two slot count that holds n
+// nodes under the load cap, never below the initial size.
+func tableSizeFor(n int) int {
+	size := minTableSlots
+	for n*maxLoadDen > size*maxLoadNum {
+		size *= 2
+	}
+	return size
+}
+
+// mTable is the matrix unique table; identical mechanics to vTable.
+type mTable struct {
+	slots []*MNode
+	n     int
+}
+
+func newMTable() mTable { return mTable{slots: make([]*MNode, minTableSlots)} }
+
+func (t *mTable) lookup(h uint64, v int, e *[4]MEdge) (n *MNode, slot int, probes int) {
+	mask := uint64(len(t.slots) - 1)
+	i := h & mask
+	for p := 1; ; p++ {
+		c := t.slots[i]
+		if c == nil {
+			return nil, int(i), p
+		}
+		if c.hash == h && c.V == v && c.E == *e {
+			return c, int(i), p
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (t *mTable) insert(slot int, n *MNode) {
+	t.slots[slot] = n
+	t.n++
+	if t.n*maxLoadDen > len(t.slots)*maxLoadNum {
+		t.grow(len(t.slots) * 2)
+	}
+}
+
+func (t *mTable) grow(size int) {
+	old := t.slots
+	t.slots = make([]*MNode, size)
+	for _, c := range old {
+		if c != nil {
+			t.place(c)
+		}
+	}
+}
+
+func (t *mTable) place(n *MNode) {
+	mask := uint64(len(t.slots) - 1)
+	i := n.hash & mask
+	for t.slots[i] != nil {
+		i = (i + 1) & mask
+	}
+	t.slots[i] = n
+}
+
+func (t *mTable) sweep(gen uint32, a *mArena) (removed int) {
+	old := t.slots
+	live := t.n
+	for _, c := range old {
+		if c != nil && c.gen != gen {
+			live--
+		}
+	}
+	t.slots = make([]*MNode, tableSizeFor(live))
+	t.n = 0
+	for _, c := range old {
+		if c == nil {
+			continue
+		}
+		if c.gen != gen {
+			a.release(c)
+			removed++
+			continue
+		}
+		t.place(c)
+		t.n++
+	}
+	return removed
+}

@@ -45,14 +45,19 @@ func (m *Manager) makeVNode(v int, e0, e1 VEdge) VEdge {
 		e1 = VEdge{}
 	}
 
-	key := vKey{v: v, w0: e0.W, w1: e1.W, n0: e0.N, n1: e1.N}
-	n, ok := m.vUnique[key]
-	if ok {
+	h := vNodeHash(v, e0, e1)
+	n, slot, probes := m.vTab.lookup(h, v, e0, e1)
+	m.uniqueLookups++
+	m.uniqueProbes += uint64(probes)
+	if n != nil {
 		m.vHits++
 	} else {
 		m.vMisses++
-		n = &VNode{V: v, E: [2]VEdge{e0, e1}}
-		m.vUnique[key] = n
+		n = m.varena.alloc()
+		n.V = v
+		n.E = [2]VEdge{e0, e1}
+		n.hash = h
+		m.vTab.insert(slot, n)
 		m.noteGrowth()
 	}
 	return VEdge{W: m.ctab.Lookup(f), N: n}
@@ -116,27 +121,29 @@ func (m *Manager) makeMNode(v int, e [4]MEdge) MEdge {
 		}
 	}
 	f := e[best].W
-	var key mKey
-	key.v = v
 	for i := range e {
 		e[i].W = m.ctab.Lookup(e[i].W.Div(f))
 		if e[i].W.IsZero() {
 			e[i] = MEdge{}
 		}
-		key.w[i] = e[i].W
-		key.n[i] = e[i].N
 	}
 
-	n, ok := m.mUnique[key]
-	if ok {
+	h := mNodeHash(v, &e)
+	n, slot, probes := m.mTab.lookup(h, v, &e)
+	m.uniqueLookups++
+	m.uniqueProbes += uint64(probes)
+	if n != nil {
 		m.mHits++
 	} else {
 		m.mMisses++
-		n = &MNode{V: v, E: e}
+		n = m.marena.alloc()
+		n.V = v
+		n.E = e
+		n.hash = h
 		n.ident = e[1].IsZero() && e[2].IsZero() &&
 			e[0].W == cnum.One && e[3].W == cnum.One &&
 			e[0].N == e[3].N && (e[0].N == nil || e[0].N.ident)
-		m.mUnique[key] = n
+		m.mTab.insert(slot, n)
 		m.noteGrowth()
 	}
 	return MEdge{W: m.ctab.Lookup(f), N: n}

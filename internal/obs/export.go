@@ -47,6 +47,12 @@ var (
 		"dd_peak_nodes":               "High-water mark of live decision-diagram nodes.",
 		"dd_gc_runs_total":            "Decision-diagram mark-and-sweep collections.",
 		"dd_budget_pressure_total":    "Node-budget overruns surfaced (including GC-relieved ones).",
+		"dd_unique_probe_len":         "Cumulative unique-table probe steps; divide by lookup totals for the mean probe length.",
+		"dd_cache_hits_total":         "Compute-cache hits across all DD operation caches.",
+		"dd_cache_misses_total":       "Compute-cache misses across all DD operation caches.",
+		"dd_cache_evictions_total":    "Direct-mapped compute-cache entries overwritten by colliding inserts.",
+		"dd_arena_slabs":              "Node slabs allocated by the DD arenas (vector + matrix).",
+		"dd_freelist_len":             "Arena slots reclaimed by GC and awaiting reuse.",
 		"go_heap_alloc_bytes":         "Live Go heap allocation (runtime.MemStats.HeapAlloc).",
 		"go_heap_sys_bytes":           "Heap memory obtained from the OS (runtime.MemStats.HeapSys).",
 		"go_goroutines":               "Current goroutine count.",
