@@ -15,6 +15,11 @@
 #   make cover-gate   total statement coverage >= the floor in coverage.floor
 #   make slo-gate     observability smoke: daemon boot, trace IDs on every
 #                     response, well-formed /v1/slo (see cmd/slogate)
+#   make cluster-gate replica-cluster e2e: 3 in-process replicas + router,
+#                     cold/warm/kill-one-mid-load, zero failed requests and
+#                     zero second strong simulations (see cmd/clustergate)
+#   make lint         go vet plus staticcheck (when installed; CI pins
+#                     STATICCHECK_VERSION)
 #
 # The perf and coverage gates are armed by committed files: regenerate
 # BENCH_FROZEN.txt with `make bench-frozen` when the fleet changes, and
@@ -22,7 +27,11 @@
 
 GO ?= go
 
-.PHONY: check build vet test fmt-check race race-stress chaos fuzz-smoke bench bench-frozen bench-gate bench-json cover cover-gate slo-gate table serve clean
+# Pinned staticcheck release used by the CI lint job (and `make lint` when a
+# staticcheck binary is on PATH — we never install tools implicitly).
+STATICCHECK_VERSION ?= 2024.1.1
+
+.PHONY: check build vet test fmt-check lint race race-stress chaos fuzz-smoke bench bench-frozen bench-gate bench-json cover cover-gate slo-gate cluster-gate table serve clean
 
 check: vet build test
 
@@ -39,6 +48,18 @@ test:
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Static analysis: go vet always, staticcheck when a binary is available.
+# The lint job in CI installs the pinned STATICCHECK_VERSION first; locally
+# we skip with a notice rather than install tools behind your back.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck $$(staticcheck -version 2>/dev/null | head -1)"; \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; ran go vet only" ; \
+		echo "lint: install with: go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)"; \
+	fi
 
 race:
 	$(GO) test -race -short ./...
@@ -114,6 +135,15 @@ cover-gate: cover
 # well-formed, and /debug/flight streams valid JSONL. See cmd/slogate.
 slo-gate:
 	$(GO) run ./cmd/slogate
+
+# Replica-cluster e2e gate: boot three real replicas plus a router
+# in-process, drive cold/warm/failover phases (killing one replica in the
+# middle of concurrent load), and assert zero non-200 responses, bit-for-bit
+# deterministic counts, snapshot shipping to every ring secondary, and a
+# fleet-wide strong-simulation count that never exceeds the number of
+# distinct circuits. See cmd/clustergate.
+cluster-gate:
+	$(GO) run ./cmd/clustergate
 
 # Regenerate the Table I rows that fit a laptop.
 table:

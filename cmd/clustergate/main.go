@@ -1,0 +1,254 @@
+// Command clustergate is the CI gate for the replica-cluster tier. It boots
+// three real weaksimd replicas in-process plus a cluster router over them,
+// then drives the lifecycle the cluster exists for:
+//
+//   - cold: each distinct circuit is strongly simulated exactly once
+//     fleet-wide and lands on its ring primary;
+//   - warm: repeat requests are cache hits on the same primary with
+//     bit-for-bit identical counts, and snapshot shipping has already put a
+//     warm copy on each circuit's ring secondary;
+//   - failover: one replica is killed in the middle of concurrent load, and
+//     every single client request still succeeds — circuits primaried on
+//     the corpse are served warm elsewhere from the shipped snapshot, so
+//     the fleet-wide strong-simulation count never moves;
+//   - ejection: the health prober removes the dead replica from the ring
+//     within its probe window and /v1/cluster reports it unhealthy.
+//
+// Zero non-governance errors are tolerated: any status other than 200, at
+// any point, fails the gate. Run via `make cluster-gate`. Exit code 0 means
+// the contract holds.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"reflect"
+	"strings"
+	"sync"
+	"time"
+
+	"weaksim/internal/cluster"
+	"weaksim/internal/obs"
+	"weaksim/internal/serve"
+)
+
+const (
+	nReplicas = 3
+	nCircuits = 6 // ghz_3 .. ghz_8
+	loadIters = 120
+	loaders   = 6
+)
+
+type replica struct {
+	srv  *serve.Server
+	reg  *obs.Registry
+	name string
+}
+
+func main() {
+	if err := gate(); err != nil {
+		fmt.Fprintln(os.Stderr, "cluster-gate: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("cluster-gate: OK")
+}
+
+func circuitReq(i int) string {
+	return fmt.Sprintf(`{"circuit":"ghz_%d","shots":256,"seed":17}`, 3+i)
+}
+
+type sampleResp struct {
+	Counts map[string]int `json:"counts"`
+	Cached bool           `json:"cached"`
+}
+
+// sample posts one request through the router and insists on HTTP 200 —
+// the gate's core invariant is that clients never see an error.
+func sample(routerAddr, body string) (sampleResp, string, error) {
+	resp, err := http.Post("http://"+routerAddr+"/v1/sample", "application/json",
+		strings.NewReader(body))
+	if err != nil {
+		return sampleResp{}, "", fmt.Errorf("post: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return sampleResp{}, "", fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out sampleResp
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return sampleResp{}, "", fmt.Errorf("decode: %w", err)
+	}
+	return out, resp.Header.Get("X-Weaksim-Backend"), nil
+}
+
+func totalSims(reps []*replica) uint64 {
+	var n uint64
+	for _, r := range reps {
+		n += r.reg.Counter("serve_sims_total").Value()
+	}
+	return n
+}
+
+func gate() error {
+	var reps []*replica
+	var names []string
+	for i := 0; i < nReplicas; i++ {
+		reg := obs.NewRegistry()
+		srv := serve.New(serve.Config{Addr: "127.0.0.1:0", Metrics: reg})
+		if err := srv.Start(); err != nil {
+			return fmt.Errorf("replica %d: %w", i, err)
+		}
+		defer srv.Close()
+		reps = append(reps, &replica{srv: srv, reg: reg, name: "http://" + srv.Addr()})
+		names = append(names, srv.Addr())
+	}
+	router, err := cluster.NewRouter(cluster.Config{
+		Addr:          "127.0.0.1:0",
+		Backends:      names,
+		ReplicaCount:  1,
+		ProbeInterval: 50 * time.Millisecond,
+		ProbeTimeout:  500 * time.Millisecond,
+		FailThreshold: 2,
+		MaxBackoff:    250 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	if err := router.Start(); err != nil {
+		return err
+	}
+	defer router.Close()
+
+	// Phase 1 — cold: every circuit simulates exactly once, somewhere.
+	baseline := make([]map[string]int, nCircuits)
+	primary := make([]string, nCircuits)
+	for i := 0; i < nCircuits; i++ {
+		got, backend, err := sample(router.Addr(), circuitReq(i))
+		if err != nil {
+			return fmt.Errorf("cold request %d: %w", i, err)
+		}
+		if got.Cached {
+			return fmt.Errorf("cold request %d reported cached", i)
+		}
+		baseline[i], primary[i] = got.Counts, backend
+	}
+	if got := totalSims(reps); got != nCircuits {
+		return fmt.Errorf("cold phase ran %d strong simulations, want %d", got, nCircuits)
+	}
+
+	// Shipping settles before the warm phase so failover targets are warm.
+	router.Quiesce()
+	if got := router.Metrics().Counter("cluster_ship_installed_total").Value(); got != nCircuits {
+		return fmt.Errorf("shipped %d snapshots, want %d (one ring secondary each)", got, nCircuits)
+	}
+
+	// Phase 2 — warm: repeat requests are deterministic cache hits pinned to
+	// the same primary.
+	for i := 0; i < nCircuits; i++ {
+		got, backend, err := sample(router.Addr(), circuitReq(i))
+		if err != nil {
+			return fmt.Errorf("warm request %d: %w", i, err)
+		}
+		if !got.Cached {
+			return fmt.Errorf("warm request %d not served from cache", i)
+		}
+		if backend != primary[i] {
+			return fmt.Errorf("warm request %d moved %s -> %s", i, primary[i], backend)
+		}
+		if !reflect.DeepEqual(got.Counts, baseline[i]) {
+			return fmt.Errorf("warm request %d: counts diverged", i)
+		}
+	}
+	if got := totalSims(reps); got != nCircuits {
+		return fmt.Errorf("warm phase re-simulated: %d sims, want %d", got, nCircuits)
+	}
+
+	// Phase 3 — kill the primary of circuit 0 in the middle of concurrent
+	// load. Every request must still return 200 with baseline counts.
+	var victim *replica
+	for _, r := range reps {
+		if r.name == primary[0] {
+			victim = r
+		}
+	}
+	if victim == nil {
+		return fmt.Errorf("unknown primary %q", primary[0])
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, loaders)
+	for w := 0; w < loaders; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for it := 0; it < loadIters; it++ {
+				i := (w + it) % nCircuits
+				got, backend, err := sample(router.Addr(), circuitReq(i))
+				if err != nil {
+					errc <- fmt.Errorf("load (worker %d iter %d circuit %d): %w", w, it, i, err)
+					return
+				}
+				if !reflect.DeepEqual(got.Counts, baseline[i]) {
+					errc <- fmt.Errorf("load: circuit %d counts diverged on %s", i, backend)
+					return
+				}
+			}
+		}(w)
+	}
+	time.Sleep(20 * time.Millisecond) // let the load ramp before the kill
+	if err := victim.srv.Close(); err != nil {
+		return fmt.Errorf("killing %s: %w", victim.name, err)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		return err
+	}
+	if got := totalSims(reps); got != nCircuits {
+		return fmt.Errorf("failover re-simulated: %d sims after the kill, want still %d "+
+			"(dead replica's circuits must be served from shipped snapshots)", got, nCircuits)
+	}
+	if fo := router.Metrics().Counter("cluster_failovers_total").Value(); fo == 0 {
+		return fmt.Errorf("no failover recorded though the primary of circuit 0 was killed mid-load")
+	}
+
+	// Phase 4 — the prober ejects the corpse and /v1/cluster says so.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get("http://" + router.Addr() + "/v1/cluster")
+		if err != nil {
+			return fmt.Errorf("cluster status: %w", err)
+		}
+		var st struct {
+			Backends []struct {
+				Name    string `json:"name"`
+				Healthy bool   `json:"healthy"`
+			} `json:"backends"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("decode cluster status: %w", err)
+		}
+		ejected := false
+		for _, b := range st.Backends {
+			if b.Name == victim.name && !b.Healthy {
+				ejected = true
+			}
+		}
+		if ejected {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("dead replica %s never ejected by the prober", victim.name)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if _, _, err := sample(router.Addr(), circuitReq(0)); err != nil {
+		return fmt.Errorf("post-ejection request: %w", err)
+	}
+	return nil
+}

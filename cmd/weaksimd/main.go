@@ -43,6 +43,23 @@
 //
 // -fault (or $WEAKSIM_FAULT) arms the deterministic fault-injection
 // framework for chaos testing; never set it in production.
+//
+// With -cluster, the same binary runs as a cluster router instead of a
+// replica: it consistent-hashes each circuit's canonical key over the
+// backend fleet (-backends and/or a watched -backends-file), health-checks
+// replicas via /readyz, fails over on transport errors and 502/503 (never
+// on the deterministic 507/504 governance verdicts, never on 500), and
+// ships frozen snapshots between replicas over GET/PUT /v1/snapshot/{hash}
+// so a circuit is strongly simulated at most once fleet-wide:
+//
+//	weaksimd -addr :8080                              # replica 1..N
+//	weaksimd -cluster -addr :9090 -backends host1:8080,host2:8080
+//	weaksimd -cluster -addr :9090 -backends-file /etc/weaksim/backends.txt
+//	curl -s localhost:9090/v1/cluster                 # ring + health view
+//
+// Simulation flags (-dd-node-budget, -cache-bytes, -queue, ...) are
+// replica-side and ignored by a router; -norm must match the replicas so
+// the router keys circuits exactly as they cache them.
 package main
 
 import (
@@ -53,9 +70,11 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"weaksim/internal/cluster"
 	"weaksim/internal/dd"
 	"weaksim/internal/fault"
 	"weaksim/internal/obs"
@@ -63,7 +82,7 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr, nil, nil); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, nil, nil, nil); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			os.Exit(2)
 		}
@@ -72,11 +91,12 @@ func main() {
 	}
 }
 
-// run is the testable daemon body. ready, when non-nil, receives the running
-// server once it is up (tests use it to learn the bound address); stopCh,
-// when non-nil, triggers the same graceful drain a SIGTERM would (tests
-// cannot safely signal the shared test process).
-func run(args []string, stdout, stderr io.Writer, ready chan<- *serve.Server, stopCh <-chan struct{}) error {
+// run is the testable daemon body. ready (replica mode) and clusterReady
+// (router mode), when non-nil, receive the running server once it is up
+// (tests use them to learn the bound address); stopCh, when non-nil,
+// triggers the same graceful drain a SIGTERM would (tests cannot safely
+// signal the shared test process).
+func run(args []string, stdout, stderr io.Writer, ready chan<- *serve.Server, clusterReady chan<- *cluster.Router, stopCh <-chan struct{}) error {
 	fs := flag.NewFlagSet("weaksimd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -97,6 +117,12 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- *serve.Server, st
 		noTraces    = fs.Bool("no-request-traces", false, "disable per-request tracing (X-Weaksim-Trace-Id, debug=1 breakdowns)")
 		faultSpec   = fs.String("fault", os.Getenv("WEAKSIM_FAULT"), "chaos-testing fault spec, e.g. \"dd.freeze:err@3,snapstore.write:corrupt@1\" (default $WEAKSIM_FAULT)")
 		faultSeed   = fs.Uint64("fault-seed", 1, "deterministic seed for fault byte corruption")
+
+		clusterMode   = fs.Bool("cluster", false, "run as a cluster router over a replica fleet instead of a replica")
+		backends      = fs.String("backends", "", "cluster mode: comma-separated replica base URLs")
+		backendsFile  = fs.String("backends-file", "", "cluster mode: watched membership file, one replica URL per line (#-comments ok)")
+		ringReplicas  = fs.Int("ring-replicas", cluster.DefaultReplicaCount, "cluster mode: warm snapshot copies beyond the primary (also failover depth; -1 disables)")
+		probeInterval = fs.Duration("probe-interval", cluster.DefaultProbeInterval, "cluster mode: /readyz health-probe cadence")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,6 +140,51 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- *serve.Server, st
 		}
 		defer fault.Disable()
 		fmt.Fprintf(stderr, "weaksimd: FAULT INJECTION ARMED: %s (seed %d)\n", *faultSpec, *faultSeed)
+	}
+
+	if *clusterMode {
+		var list []string
+		for _, b := range strings.Split(*backends, ",") {
+			if s := strings.TrimSpace(b); s != "" {
+				list = append(list, s)
+			}
+		}
+		router, err := cluster.NewRouter(cluster.Config{
+			Addr:           *addr,
+			Backends:       list,
+			BackendsFile:   *backendsFile,
+			ReplicaCount:   *ringReplicas,
+			ProbeInterval:  *probeInterval,
+			Norm:           normScheme,
+			RequestTimeout: *timeout,
+			Metrics:        obs.NewRegistry(),
+		})
+		if err != nil {
+			return err
+		}
+		if err := router.Start(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "weaksimd: cluster router listening on %s (norm %s, ring replicas %d)\n",
+			router.Addr(), normScheme, *ringReplicas)
+		if clusterReady != nil {
+			clusterReady <- router
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer stop()
+		select {
+		case <-ctx.Done():
+		case <-stopCh:
+		}
+		stop()
+		fmt.Fprintf(stdout, "weaksimd: draining (up to %v)...\n", *drain)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := router.Shutdown(drainCtx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		fmt.Fprintln(stdout, "weaksimd: bye")
+		return nil
 	}
 
 	srv := serve.New(serve.Config{

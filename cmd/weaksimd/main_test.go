@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"weaksim/internal/cluster"
 	"weaksim/internal/serve"
 )
 
@@ -23,7 +24,7 @@ func TestRunServesAndDrains(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	go func() {
 		errc <- run([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "5s"},
-			&out, &errBuf, ready, stop)
+			&out, &errBuf, ready, nil, stop)
 	}()
 	var srv *serve.Server
 	select {
@@ -79,13 +80,13 @@ func TestRunServesAndDrains(t *testing.T) {
 
 func TestRunFlagErrors(t *testing.T) {
 	var out, errBuf bytes.Buffer
-	if err := run([]string{"-norm", "bogus"}, &out, &errBuf, nil, nil); err == nil {
+	if err := run([]string{"-norm", "bogus"}, &out, &errBuf, nil, nil, nil); err == nil {
 		t.Fatal("bad -norm accepted")
 	}
-	if err := run([]string{"positional"}, &out, &errBuf, nil, nil); err == nil {
+	if err := run([]string{"positional"}, &out, &errBuf, nil, nil, nil); err == nil {
 		t.Fatal("positional argument accepted")
 	}
-	if err := run([]string{"-addr", "definitely:not:an:addr"}, &out, &errBuf, nil, nil); err == nil {
+	if err := run([]string{"-addr", "definitely:not:an:addr"}, &out, &errBuf, nil, nil, nil); err == nil {
 		t.Fatal("unlistenable address accepted")
 	}
 }
@@ -100,7 +101,7 @@ func bootDaemon(t *testing.T, extra ...string) (*serve.Server, func()) {
 	errc := make(chan error, 1)
 	var out, errBuf bytes.Buffer
 	args := append([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "5s"}, extra...)
-	go func() { errc <- run(args, &out, &errBuf, ready, stop) }()
+	go func() { errc <- run(args, &out, &errBuf, ready, nil, stop) }()
 	var srv *serve.Server
 	select {
 	case srv = <-ready:
@@ -283,7 +284,7 @@ func TestRunFaultFlag(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	go func() {
 		errc <- run([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "5s",
-			"-fault", "serve.queue.submit:err@1"}, &out, &errBuf, ready, stop)
+			"-fault", "serve.queue.submit:err@1"}, &out, &errBuf, ready, nil, stop)
 	}()
 	var srv *serve.Server
 	select {
@@ -317,5 +318,91 @@ func TestRunFaultFlag(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status=%d after the fault window closed, want 200", resp.StatusCode)
+	}
+}
+
+// TestRunClusterMode boots two replica daemons plus a -cluster router over
+// them and samples through the router: the response must come from a named
+// backend, repeat warm from the same one, and the router must drain cleanly.
+func TestRunClusterMode(t *testing.T) {
+	rep1, shutdown1 := bootDaemon(t)
+	defer shutdown1()
+	rep2, shutdown2 := bootDaemon(t)
+	defer shutdown2()
+
+	clusterReady := make(chan *cluster.Router, 1)
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	var out, errBuf bytes.Buffer
+	go func() {
+		errc <- run([]string{"-cluster", "-addr", "127.0.0.1:0", "-drain-timeout", "5s",
+			"-backends", rep1.Addr() + "," + rep2.Addr(), "-probe-interval", "50ms"},
+			&out, &errBuf, nil, clusterReady, stop)
+	}()
+	var router *cluster.Router
+	select {
+	case router = <-clusterReady:
+	case err := <-errc:
+		t.Fatalf("run exited early: %v (stderr: %s)", err, errBuf.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("router never became ready")
+	}
+
+	const req = `{"circuit":"ghz_4","shots":128,"seed":11}`
+	var backendHeader string
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post("http://"+router.Addr()+"/v1/sample", "application/json",
+			strings.NewReader(req))
+		if err != nil {
+			t.Fatalf("post via router: %v", err)
+		}
+		var body struct {
+			Counts map[string]int `json:"counts"`
+			Cached bool           `json:"cached"`
+		}
+		if resp.StatusCode != http.StatusOK {
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			t.Fatalf("status=%d body=%s", resp.StatusCode, raw)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		resp.Body.Close()
+		name := resp.Header.Get("X-Weaksim-Backend")
+		if name == "" {
+			t.Fatal("router response missing X-Weaksim-Backend")
+		}
+		if i == 0 {
+			backendHeader = name
+			if body.Cached {
+				t.Fatal("cold request reported cached")
+			}
+		} else if name != backendHeader {
+			t.Fatalf("repeat request moved backend: %s then %s", backendHeader, name)
+		} else if !body.Cached {
+			t.Fatal("repeat request not served warm")
+		}
+	}
+
+	// Ignored replica-side flags must not break router startup, and the
+	// router must refuse to start with no backends at all.
+	if err := run([]string{"-cluster"}, &out, &errBuf, nil, nil, nil); err == nil {
+		t.Fatal("-cluster with no backends accepted")
+	}
+
+	close(stop)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("router did not drain")
+	}
+	for _, want := range []string{"cluster router listening on", "bye"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, out.String())
+		}
 	}
 }

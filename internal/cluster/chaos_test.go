@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"weaksim/internal/fault"
+)
+
+// The chaos suite (run by `make chaos` via -run 'Chaos|Fault') arms the
+// router-level fault points and proves the degradation contracts: an
+// injected connect failure fails over without reaching the backend, a
+// corrupted snapshot frame is rejected by the target's integrity ladder and
+// degrades to re-simulation, and an injected sim-stage failure is relayed
+// as 500 with no failover — the one case where a retry could duplicate the
+// expensive strong simulation.
+
+func armFault(t *testing.T, spec string) {
+	t.Helper()
+	if err := fault.Enable(spec, 1); err != nil {
+		t.Fatalf("fault.Enable(%q): %v", spec, err)
+	}
+	t.Cleanup(fault.Disable)
+}
+
+// TestClusterFaultConnectFailsOver: cluster.backend.connect:err@1 makes the
+// first forward attempt die before the dial. The client still gets a 200 —
+// from the failover candidate — and the faulted backend never sees the
+// request.
+func TestClusterFaultConnectFailsOver(t *testing.T) {
+	b1, b2 := newFakeBackend(http.StatusOK), newFakeBackend(http.StatusOK)
+	defer b1.srv.Close()
+	defer b2.srv.Close()
+	router := startRouter(t, Config{
+		Backends:      []string{b1.srv.URL, b2.srv.URL},
+		ReplicaCount:  1,
+		ProbeInterval: time.Hour, // no probes: only the injected fault acts
+	})
+
+	armFault(t, fault.ClusterConnect+":err@1")
+	resp := postRouter(t, router, sampleBody(t, 4))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 via failover", resp.StatusCode)
+	}
+	if got := b1.hits.Load() + b2.hits.Load(); got != 1 {
+		t.Fatalf("fleet saw %d requests, want 1 (the faulted attempt must not dial)", got)
+	}
+	if fo := router.Metrics().Counter("cluster_failovers_total").Value(); fo != 1 {
+		t.Fatalf("failovers = %d, want 1", fo)
+	}
+}
+
+// TestClusterFaultSnapFetchCorruptDegrades: cluster.snapfetch:corrupt
+// mangles every shipped frame in transit. The target's integrity ladder
+// (CRC trailer first) rejects the PUT, shipping records a failure, and the
+// fleet degrades to re-simulation on failover — requests never fail.
+func TestClusterFaultSnapFetchCorruptDegrades(t *testing.T) {
+	a, b := startReplica(t), startReplica(t)
+	router := startRouter(t, Config{
+		Backends:      []string{a.name, b.name},
+		ReplicaCount:  1,
+		ProbeInterval: 25 * time.Millisecond,
+		FailThreshold: 2,
+		MaxBackoff:    100 * time.Millisecond,
+	})
+	base := "http://" + router.Addr()
+	body, err := json.Marshal(map[string]any{"qasm": ghzQASMN(5), "shots": 256, "seed": uint64(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	armFault(t, fault.ClusterSnapFetch+":corrupt")
+	status, primaryName, cold := postSample(t, base, body)
+	if status != http.StatusOK {
+		t.Fatalf("cold request: status %d", status)
+	}
+	router.Quiesce()
+	m := router.Metrics()
+	if m.Counter("cluster_ship_installed_total").Value() != 0 {
+		t.Fatal("a corrupted frame was installed — the integrity ladder leaked")
+	}
+	if m.Counter("cluster_ship_failures_total").Value() == 0 {
+		t.Fatal("shipping did not record the rejected frame")
+	}
+
+	// Kill the primary: the failover target is cold (the ship was rejected),
+	// so it re-simulates — a second strong simulation, but zero failed
+	// requests and identical counts.
+	reps := []*replica{a, b}
+	for _, r := range reps {
+		if r.name == primaryName {
+			if err := r.srv.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	fault.Disable()
+	status, name, got := postSample(t, base, body)
+	if status != http.StatusOK {
+		t.Fatalf("post-kill request: status %d", status)
+	}
+	if name == primaryName {
+		t.Fatal("dead primary still answered")
+	}
+	if got.Cached {
+		t.Fatal("failover target answered warm though the ship was corrupted")
+	}
+	if len(got.Counts) == 0 || len(cold.Counts) == 0 {
+		t.Fatal("missing counts")
+	}
+	for k, v := range cold.Counts {
+		if got.Counts[k] != v {
+			t.Fatalf("re-simulated counts diverge at %q: %d vs %d", k, got.Counts[k], v)
+		}
+	}
+	if s := totalSims(reps); s != 2 {
+		t.Fatalf("fleet ran %d sims, want 2 (cold build + degraded re-simulation)", s)
+	}
+}
+
+// TestClusterFaultSimPanicNoFailover: an injected failure inside a
+// replica's sim stage surfaces as a 500 — and the router must relay it
+// without failing over, because the request reached a sim worker and a
+// retry could only burn a second strong simulation.
+func TestClusterFaultSimPanicNoFailover(t *testing.T) {
+	a, b := startReplica(t), startReplica(t)
+	router := startRouter(t, Config{
+		Backends:      []string{a.name, b.name},
+		ReplicaCount:  1,
+		ProbeInterval: time.Hour,
+	})
+	base := "http://" + router.Addr()
+	body, err := json.Marshal(map[string]any{"qasm": ghzQASMN(4), "shots": 64, "seed": uint64(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	armFault(t, "serve.sim:panic@1")
+	status, _, _ := postSample(t, base, body)
+	if status != http.StatusInternalServerError {
+		t.Fatalf("status %d, want the replica's 500 relayed", status)
+	}
+	if fo := router.Metrics().Counter("cluster_failovers_total").Value(); fo != 0 {
+		t.Fatalf("router failed over %d times on a 500 — that re-sends work that reached a sim worker", fo)
+	}
+	if s := totalSims([]*replica{a, b}); s != 1 {
+		t.Fatalf("fleet ran %d sims, want 1 (exactly one worker was reached)", s)
+	}
+
+	// The fault was one-shot; the same request now succeeds on the same
+	// primary — recovery needs no operator action.
+	fault.Disable()
+	status, _, got := postSample(t, base, body)
+	if status != http.StatusOK || len(got.Counts) == 0 {
+		t.Fatalf("post-fault retry: status %d", status)
+	}
+}

@@ -1,0 +1,257 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"weaksim/internal/obs"
+	"weaksim/internal/serve"
+)
+
+// replica is one real in-process weaksimd backend.
+type replica struct {
+	srv  *serve.Server
+	reg  *obs.Registry
+	name string // normalized base URL, the ring identity
+}
+
+func startReplica(t *testing.T) *replica {
+	t.Helper()
+	reg := obs.NewRegistry()
+	srv := serve.New(serve.Config{Addr: "127.0.0.1:0", Metrics: reg})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return &replica{srv: srv, reg: reg, name: normalizeBackend(srv.Addr())}
+}
+
+func (r *replica) sims() uint64 { return r.reg.Counter("serve_sims_total").Value() }
+
+type sampleResp struct {
+	Counts     map[string]int `json:"counts"`
+	Cached     bool           `json:"cached"`
+	CircuitKey string         `json:"circuit_key"`
+}
+
+func postSample(t *testing.T, base string, body []byte) (int, string, sampleResp) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/sample", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/sample: %v", err)
+	}
+	defer resp.Body.Close()
+	var out sampleResp
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, resp.Header.Get("X-Weaksim-Backend"), out
+}
+
+func totalSims(reps []*replica) uint64 {
+	var n uint64
+	for _, r := range reps {
+		n += r.sims()
+	}
+	return n
+}
+
+// TestClusterEndToEndKillAndShip is the acceptance e2e: with three replicas
+// under load, killing the primary of a circuit loses zero client requests —
+// the first post-kill request fails over to a ring candidate that snapshot
+// shipping already warmed, so the circuit is never strongly simulated a
+// second time.
+func TestClusterEndToEndKillAndShip(t *testing.T) {
+	reps := []*replica{startReplica(t), startReplica(t), startReplica(t)}
+	backends := make([]string, len(reps))
+	for i, r := range reps {
+		backends[i] = r.name
+	}
+	router := startRouter(t, Config{
+		Backends:      backends,
+		ReplicaCount:  1,
+		ProbeInterval: 25 * time.Millisecond,
+		ProbeTimeout:  250 * time.Millisecond,
+		FailThreshold: 2,
+		MaxBackoff:    100 * time.Millisecond,
+	})
+	base := "http://" + router.Addr()
+
+	body, err := json.Marshal(map[string]any{"qasm": ghzQASMN(6), "shots": 512, "seed": uint64(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	status, primaryName, cold := postSample(t, base, body)
+	if status != http.StatusOK || cold.Cached {
+		t.Fatalf("cold request: status %d cached %v", status, cold.Cached)
+	}
+	if totalSims(reps) != 1 {
+		t.Fatalf("cold request ran %d sims, want 1", totalSims(reps))
+	}
+	router.Quiesce()
+	if got := router.Metrics().Counter("cluster_ship_installed_total").Value(); got != 1 {
+		t.Fatalf("ship_installed_total = %d after cold build, want 1 (ReplicaCount=1)", got)
+	}
+
+	status, warmName, warm := postSample(t, base, body)
+	if status != http.StatusOK || !warm.Cached || warmName != primaryName {
+		t.Fatalf("warm request: status %d cached %v backend %s (primary %s)",
+			status, warm.Cached, warmName, primaryName)
+	}
+	if !reflect.DeepEqual(cold.Counts, warm.Counts) {
+		t.Fatalf("warm counts diverge:\ncold %v\nwarm %v", cold.Counts, warm.Counts)
+	}
+
+	var primary *replica
+	for _, r := range reps {
+		if r.name == primaryName {
+			primary = r
+		}
+	}
+	if primary == nil {
+		t.Fatalf("unknown primary %q", primaryName)
+	}
+	simsBefore := totalSims(reps)
+	if err := primary.srv.Close(); err != nil {
+		t.Fatalf("killing primary: %v", err)
+	}
+
+	// Every request from the instant of the kill must succeed: transport
+	// errors fail over immediately, and the failover target was warmed by
+	// snapshot shipping.
+	for i := 0; i < 12; i++ {
+		status, name, got := postSample(t, base, body)
+		if status != http.StatusOK {
+			t.Fatalf("post-kill request %d: status %d", i, status)
+		}
+		if name == primaryName {
+			t.Fatalf("post-kill request %d still answered by the dead primary", i)
+		}
+		if !got.Cached {
+			t.Fatalf("post-kill request %d served cold — snapshot shipping did not warm %s", i, name)
+		}
+		if !reflect.DeepEqual(cold.Counts, got.Counts) {
+			t.Fatalf("post-kill counts diverge on request %d", i)
+		}
+	}
+	if got := totalSims(reps); got != simsBefore {
+		t.Fatalf("failover re-simulated: sims %d -> %d, want unchanged", simsBefore, got)
+	}
+	if fo := router.Metrics().Counter("cluster_failovers_total").Value(); fo == 0 {
+		t.Fatal("no failover was recorded")
+	}
+
+	// The probe window ejects the corpse; once ejected, requests stop
+	// paying the failed-connect hop entirely.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		healthy := false
+		for _, b := range router.statusNow().Backends {
+			if b.Name == primaryName {
+				healthy = b.Healthy
+			}
+		}
+		if !healthy {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	foBefore := router.Metrics().Counter("cluster_failovers_total").Value()
+	if status, _, _ := postSample(t, base, body); status != http.StatusOK {
+		t.Fatalf("post-ejection request: status %d", status)
+	}
+	if fo := router.Metrics().Counter("cluster_failovers_total").Value(); fo != foBefore {
+		t.Fatalf("ejected primary still tried first (failovers %d -> %d)", foBefore, fo)
+	}
+}
+
+// TestClusterShipOnJoin: a backend joining the ring takes over as primary
+// for some circuits; the router ships their snapshots from the old holder
+// instead of letting the newcomer re-simulate — one network copy, zero
+// second strong simulations.
+func TestClusterShipOnJoin(t *testing.T) {
+	a, b := startReplica(t), startReplica(t)
+
+	// A circuit whose primary in the two-member ring will be the newcomer b.
+	body := circuitKeyed(t, []string{a.name, b.name}, b.name)
+
+	path := filepath.Join(t.TempDir(), "backends.txt")
+	if err := os.WriteFile(path, []byte(a.name+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	router := startRouter(t, Config{
+		BackendsFile:  path,
+		WatchInterval: 15 * time.Millisecond,
+		ReplicaCount:  1,
+		ProbeInterval: 25 * time.Millisecond,
+	})
+	base := "http://" + router.Addr()
+
+	status, name, cold := postSample(t, base, body)
+	if status != http.StatusOK || name != a.name {
+		t.Fatalf("cold request: status %d backend %s, want 200 from %s", status, name, a.name)
+	}
+	if a.sims() != 1 {
+		t.Fatalf("a ran %d sims, want 1", a.sims())
+	}
+
+	if err := os.WriteFile(path, []byte(a.name+"\n"+b.name+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if router.Metrics().Gauge("cluster_backends").Value() == 2 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	status, name, warm := postSample(t, base, body)
+	if status != http.StatusOK {
+		t.Fatalf("post-join request: status %d", status)
+	}
+	if name != b.name {
+		t.Fatalf("post-join request answered by %s, want the new primary %s", name, b.name)
+	}
+	if !warm.Cached {
+		t.Fatal("new primary served cold — the pre-forward ship did not happen")
+	}
+	if b.sims() != 0 {
+		t.Fatalf("new primary ran %d sims, want 0 (snapshot was shipped)", b.sims())
+	}
+	if !reflect.DeepEqual(cold.Counts, warm.Counts) {
+		t.Fatal("counts diverge after the handover")
+	}
+	if got := router.Metrics().Counter("cluster_ship_installed_total").Value(); got == 0 {
+		t.Fatal("no ship was recorded")
+	}
+}
+
+// TestClusterTraceRidesToReplica: a caller's traceparent survives the
+// router hop — the replica's X-Weaksim-Trace-Id response (relayed by the
+// router) is the caller's trace ID.
+func TestClusterTraceRidesToReplica(t *testing.T) {
+	a := startReplica(t)
+	router := startRouter(t, Config{Backends: []string{a.name}})
+
+	body, _ := json.Marshal(map[string]any{"qasm": ghzQASMN(3), "shots": 8})
+	const traceID = "af7651916cd43dd8448eb211c80319c7"
+	req, _ := http.NewRequest(http.MethodPost, "http://"+router.Addr()+"/v1/sample", bytes.NewReader(body))
+	req.Header.Set("traceparent", "00-"+traceID+"-b7ad6b7169203331-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Weaksim-Trace-Id"); got != traceID {
+		t.Fatalf("replica traced request as %q, want the caller's trace %q spanning router->replica", got, traceID)
+	}
+}

@@ -48,6 +48,14 @@ const snapHeaderBytes = 4 + 2 + 1 + 1 + 4 + 4 + 16 + 4
 // "not a snapshot" from I/O failure.
 var ErrSnapshotEncoding = errors.New("dd: malformed snapshot encoding")
 
+// ErrSnapshotVersion reports a well-framed snapshot written by a different
+// codec version than this build reads. It wraps ErrSnapshotEncoding (the
+// bytes are still undecodable here) but is separately detectable so a
+// mixed-version cluster can tell "peer runs a newer codec" apart from
+// corruption: the persistence layer must not quarantine such files, and the
+// shipping layer must fall back to re-simulation instead of retrying.
+var ErrSnapshotVersion = errors.New("dd: snapshot codec version mismatch")
+
 // EncodeSnapshot serializes the snapshot to its versioned little-endian
 // binary form. The encoding is deterministic: equal snapshots produce equal
 // bytes, which lets the persistence layer hash and checksum them stably.
@@ -91,7 +99,8 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrSnapshotEncoding, data[:4])
 	}
 	if v := binary.LittleEndian.Uint16(data[4:]); v != snapVersion {
-		return nil, fmt.Errorf("%w: version %d, this build reads %d", ErrSnapshotEncoding, v, snapVersion)
+		return nil, fmt.Errorf("%w (%w): version %d, this build reads %d",
+			ErrSnapshotVersion, ErrSnapshotEncoding, v, snapVersion)
 	}
 	s := &Snapshot{
 		norm:    Norm(data[6]),

@@ -57,6 +57,26 @@ func TestSnapshotDecodeRejectsBadFraming(t *testing.T) {
 	}
 }
 
+// TestSnapshotDecodeVersionMismatchTyped: a frame from a different codec
+// version is separately detectable (ErrSnapshotVersion) while still counting
+// as undecodable here (ErrSnapshotEncoding); other framing damage must NOT
+// read as a version mismatch.
+func TestSnapshotDecodeVersionMismatchTyped(t *testing.T) {
+	enc := EncodeSnapshot(mustFreeze(t, NormL2))
+	newer := append([]byte{}, enc...)
+	newer[4], newer[5] = 2, 0 // version 2 little-endian
+	_, err := DecodeSnapshot(newer)
+	if !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("newer version: err = %v, want ErrSnapshotVersion", err)
+	}
+	if !errors.Is(err, ErrSnapshotEncoding) {
+		t.Fatalf("version mismatch must still wrap ErrSnapshotEncoding: %v", err)
+	}
+	if _, err := DecodeSnapshot(enc[:len(enc)-1]); errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("truncation misread as a version mismatch: %v", err)
+	}
+}
+
 // FuzzSnapshotDecode: the decoder must never panic, and anything it accepts
 // must survive Verify without panicking either (Verify may well fail — the
 // fuzzer forges masses — but it must fail with an error).

@@ -8,7 +8,8 @@
 // exercised. Left to nature, most of them fire rarely or never. This package
 // compiles *named injection points* into the production code paths (the
 // unique-table insert, the garbage collector, Freeze, the sampling walk
-// loop, the serve queue/cache/worker pool, and the snapshot store) and lets
+// loop, the serve queue/cache/worker pool, the snapshot store, and the
+// cluster router's backend-connect and snapshot-shipping hops) and lets
 // a test or an operator arm them with a compact spec:
 //
 //	dd.freeze:err@3,snapstore.write:truncate@1,sampler.walk:latency(50ms)
@@ -82,6 +83,15 @@ const (
 	// SnapstoreRead is a byte-stream hook over the snapshot file payload
 	// after it is read and before integrity checks.
 	SnapstoreRead = "snapstore.read"
+	// ClusterConnect fires in the cluster router before each forwarded
+	// backend request. An injected err models a backend connect failure and
+	// exercises the ejection + retry-with-failover path.
+	ClusterConnect = "cluster.backend.connect"
+	// ClusterSnapFetch is a byte-stream hook over a snapshot frame fetched
+	// from a warm replica during snapshot shipping, before the receiving
+	// primary's integrity checks. Corruption here must degrade to
+	// re-simulation on the target, never to a failed client request.
+	ClusterSnapFetch = "cluster.snapfetch"
 )
 
 // Points returns the registered injection-point catalogue.
@@ -91,6 +101,7 @@ func Points() []string {
 		SamplerWalk,
 		ServeSim, ServeQueueSubmit, ServeCacheAdmit,
 		SnapstoreWrite, SnapstoreRead,
+		ClusterConnect, ClusterSnapFetch,
 	}
 }
 

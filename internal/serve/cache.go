@@ -213,12 +213,26 @@ func (c *snapCache) finish(key string, fl *flight, ent *entry, err error) {
 	close(fl.done)
 }
 
-// insert admits an entry built outside any flight — the warm-restart path,
-// which loads verified snapshots from disk before the listener opens.
+// insert admits an entry built outside any flight — the warm-restart path
+// (verified snapshots loaded from disk before the listener opens) and the
+// snapshot-shipping PUT (a peer's frozen snapshot installed after the full
+// integrity ladder).
 func (c *snapCache) insert(ent *entry) {
 	c.mu.Lock()
 	c.admit(ent)
 	c.mu.Unlock()
+}
+
+// peek returns the resident entry for key without disturbing LRU order, or
+// nil when cold. Snapshot-shipping reads use it so replication traffic does
+// not distort the recency signal real sampling traffic produces.
+func (c *snapCache) peek(key string) *entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.elems[key]; ok {
+		return el.Value.(*entry)
+	}
+	return nil
 }
 
 // admit inserts an entry and evicts LRU entries until the byte budget holds.

@@ -121,6 +121,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/slo", s.route("/v1/slo", s.handleSLO))
 	mux.HandleFunc("/healthz", s.route("/healthz", s.handleHealthz))
 	mux.HandleFunc("/readyz", s.route("/readyz", s.handleReadyz))
+	mux.HandleFunc(snapshotPathPrefix, s.route(snapshotPathPrefix, s.handleSnapshot))
 	mux.HandleFunc("/debug/flight", s.handleFlight)
 	return mux
 }

@@ -24,9 +24,14 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
 	"math"
 
+	"weaksim/internal/algo"
 	"weaksim/internal/circuit"
+	"weaksim/internal/circuit/qasm"
 	"weaksim/internal/dd"
 )
 
@@ -100,4 +105,41 @@ func CircuitKey(c *circuit.Circuit, norm dd.Norm, generic bool) string {
 	}
 	sum := h.Sum(nil)
 	return hex.EncodeToString(sum[:])
+}
+
+// KeyForBody computes the canonical circuit key for a raw /v1/sample request
+// body without simulating anything: it decodes just the circuit description
+// (qasm or named benchmark), builds the circuit, and hashes it under norm.
+//
+// This is the cluster router's routing function — the router must place a
+// request on the ring before any replica sees it, using exactly the key the
+// replica's cache will use, or routing and caching would disagree about
+// which backend owns a circuit. Unknown body fields are ignored here (the
+// replica still enforces its full request schema); a body whose circuit
+// cannot be built fails with an error the router reports as HTTP 400.
+func KeyForBody(body []byte, norm dd.Norm) (string, error) {
+	var req struct {
+		QASM    string `json:"qasm"`
+		Circuit string `json:"circuit"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return "", fmt.Errorf("invalid JSON body: %w", err)
+	}
+	if (req.QASM == "") == (req.Circuit == "") {
+		return "", errors.New(`exactly one of "qasm" and "circuit" must be set`)
+	}
+	var circ *circuit.Circuit
+	var err error
+	if req.Circuit != "" {
+		circ, err = algo.Generate(req.Circuit)
+	} else {
+		circ, err = qasm.Parse(req.QASM, "request")
+	}
+	if err != nil {
+		return "", err
+	}
+	if err := circ.Validate(); err != nil {
+		return "", err
+	}
+	return CircuitKey(circ, norm, false), nil
 }

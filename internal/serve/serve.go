@@ -194,6 +194,13 @@ type Server struct {
 	slo        *sloEngine
 	epHists    map[string]*obs.Histogram
 	faultFired *obs.Counter
+
+	// Snapshot-shipping counters: frames served to peers (GET), frames
+	// installed from peers (PUT), and frames rejected by the integrity
+	// ladder or the codec version gate.
+	snapServed   *obs.Counter
+	snapInstalls *obs.Counter
+	snapRejects  *obs.Counter
 }
 
 // tracedEndpoints are the routes wrapped by the observability middleware,
@@ -205,6 +212,9 @@ var tracedEndpoints = map[string]string{
 	"/v1/slo":      "slo",
 	"/healthz":     "healthz",
 	"/readyz":      "readyz",
+	// The snapshot-shipping route is keyed by its prefix; every
+	// /v1/snapshot/{hash} request lands in one histogram.
+	snapshotPathPrefix: "snapshot",
 }
 
 // New builds a Server from cfg without binding the listen socket yet.
@@ -230,6 +240,9 @@ func New(cfg Config) *Server {
 		obs.WithFlightTrips(reg.Counter("serve_flight_trips_total")))
 	s.slo = newSLOEngine(cfg.SLOs, s.recorder, reg)
 	s.faultFired = reg.Counter("serve_fault_fired_total")
+	s.snapServed = reg.Counter("serve_snapshot_served_total")
+	s.snapInstalls = reg.Counter("serve_snapshot_installs_total")
+	s.snapRejects = reg.Counter("serve_snapshot_rejects_total")
 	s.epHists = make(map[string]*obs.Histogram, len(tracedEndpoints))
 	for path, stem := range tracedEndpoints {
 		name := "serve_endpoint_" + stem + "_ns"

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc64"
+	"io"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"weaksim/internal/snapstore"
+)
+
+// shipSnapshot moves the frame for key from one daemon to another via the
+// wire endpoints, returning the PUT status.
+func shipSnapshot(t *testing.T, fromBase, toBase, key string, mutate func([]byte) []byte) int {
+	t.Helper()
+	resp, err := http.Get(fromBase + snapshotPathPrefix + key)
+	if err != nil {
+		t.Fatalf("fetch snapshot: %v", err)
+	}
+	frame, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("fetch snapshot: status %d err %v", resp.StatusCode, err)
+	}
+	if mutate != nil {
+		frame = mutate(frame)
+	}
+	req, err := http.NewRequest(http.MethodPut, toBase+snapshotPathPrefix+key, bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	putResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("put snapshot: %v", err)
+	}
+	putResp.Body.Close()
+	return putResp.StatusCode
+}
+
+// TestSnapshotShippingEndToEnd: a snapshot frozen on daemon A is fetched
+// over the wire, installed on cold daemon B, and B then serves the circuit
+// warm — identical counts, zero strong simulations of its own.
+func TestSnapshotShippingEndToEnd(t *testing.T) {
+	srvA, baseA := startServer(t, Config{})
+	srvB, baseB := startServer(t, Config{})
+
+	body := map[string]any{"qasm": ghzQASM, "shots": 256, "seed": uint64(7)}
+	var cold sampleResponse
+	if status, _ := post(t, baseA, body, &cold); status != http.StatusOK {
+		t.Fatalf("cold sample on A: status %d", status)
+	}
+	key := cold.CircuitKey
+
+	// B is cold: the shipping GET 404s there.
+	resp, err := http.Get(baseB + snapshotPathPrefix + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET on cold daemon: status %d, want 404", resp.StatusCode)
+	}
+
+	if status := shipSnapshot(t, baseA, baseB, key, nil); status != http.StatusNoContent {
+		t.Fatalf("PUT: status %d, want 204", status)
+	}
+
+	var warm sampleResponse
+	if status, _ := post(t, baseB, body, &warm); status != http.StatusOK {
+		t.Fatalf("sample on B: status %d", status)
+	}
+	if !warm.Cached {
+		t.Fatal("B served the shipped circuit cold")
+	}
+	if !reflect.DeepEqual(cold.Counts, warm.Counts) {
+		t.Fatalf("shipped snapshot sampled differently:\nA: %v\nB: %v", cold.Counts, warm.Counts)
+	}
+	if sims := srvB.Metrics().Counter("serve_sims_total").Value(); sims != 0 {
+		t.Fatalf("B ran %d strong simulations, want 0", sims)
+	}
+	if got := srvA.Metrics().Counter("serve_snapshot_served_total").Value(); got != 1 {
+		t.Fatalf("A served %d frames, want 1", got)
+	}
+	if got := srvB.Metrics().Counter("serve_snapshot_installs_total").Value(); got != 1 {
+		t.Fatalf("B installed %d frames, want 1", got)
+	}
+}
+
+// TestSnapshotPutRejectsDamageAndVersionSkew: the PUT integrity ladder
+// separates corruption (400) from a mixed-version peer (409), and neither
+// pollutes the cache.
+func TestSnapshotPutRejectsDamageAndVersionSkew(t *testing.T) {
+	srvA, baseA := startServer(t, Config{})
+	srvB, baseB := startServer(t, Config{})
+
+	body := map[string]any{"qasm": ghzQASM, "shots": 16}
+	var cold sampleResponse
+	if status, _ := post(t, baseA, body, &cold); status != http.StatusOK {
+		t.Fatalf("cold sample on A: status %d", status)
+	}
+	key := cold.CircuitKey
+
+	crcTable := crc64.MakeTable(crc64.ECMA)
+	cases := map[string]struct {
+		mutate func([]byte) []byte
+		status int
+	}{
+		"bit rot": {
+			mutate: func(b []byte) []byte { b[40] ^= 0x10; return b },
+			status: http.StatusBadRequest,
+		},
+		"truncated": {
+			mutate: func(b []byte) []byte { return b[:len(b)-3] },
+			status: http.StatusBadRequest,
+		},
+		"newer codec version": {
+			mutate: func(b []byte) []byte {
+				payload := b[:len(b)-8]
+				binary.LittleEndian.PutUint16(payload[4:], 42)
+				var trailer [8]byte
+				binary.LittleEndian.PutUint64(trailer[:], crc64.Checksum(payload, crcTable))
+				return append(payload, trailer[:]...)
+			},
+			status: http.StatusConflict,
+		},
+	}
+	for name, tc := range cases {
+		if status := shipSnapshot(t, baseA, baseB, key, tc.mutate); status != tc.status {
+			t.Errorf("%s: PUT status %d, want %d", name, status, tc.status)
+		}
+	}
+	if got := srvB.Metrics().Counter("serve_snapshot_rejects_total").Value(); got != uint64(len(cases)) {
+		t.Errorf("B rejected %d frames, want %d", got, len(cases))
+	}
+	// Nothing was installed; B still simulates on demand.
+	var onB sampleResponse
+	if status, _ := post(t, baseB, body, &onB); status != http.StatusOK || onB.Cached {
+		t.Fatalf("B after rejected ships: status %d cached %v, want cold 200", status, onB.Cached)
+	}
+	_ = srvA
+}
+
+func TestSnapshotKeyValidation(t *testing.T) {
+	_, base := startServer(t, Config{})
+	for _, path := range []string{
+		snapshotPathPrefix,                  // empty key
+		snapshotPathPrefix + "a/b",          // path escape
+		snapshotPathPrefix + "k.corrupt",    // dotted
+		snapshotPathPrefix + "%2e%2e%2fetc", // encoded escape
+	} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 400 (or 404 for unroutable)", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestKeyForBodyMatchesServedKey: the router-side key function agrees with
+// the key the replica derives from a full request — the invariant that makes
+// ring routing and replica caching name the same owner.
+func TestKeyForBodyMatchesServedKey(t *testing.T) {
+	_, base := startServer(t, Config{})
+	body := map[string]any{"qasm": ghzQASM, "shots": 8, "workers": 1}
+	var resp sampleResponse
+	if status, _ := post(t, base, body, &resp); status != http.StatusOK {
+		t.Fatalf("sample: status %d", status)
+	}
+	raw, _ := json.Marshal(body)
+	key, err := KeyForBody(raw, 0)
+	if err != nil {
+		t.Fatalf("KeyForBody: %v", err)
+	}
+	if key != resp.CircuitKey {
+		t.Fatalf("KeyForBody = %s, server used %s", key, resp.CircuitKey)
+	}
+	if _, err := KeyForBody([]byte(`{"shots":4}`), 0); err == nil {
+		t.Fatal("KeyForBody accepted a body with no circuit")
+	}
+	if _, err := KeyForBody([]byte(`not json`), 0); err == nil {
+		t.Fatal("KeyForBody accepted junk")
+	}
+	// Wire format check: the shipped frame decodes with the snapstore codec.
+	get, err := http.Get(base + snapshotPathPrefix + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, _ := io.ReadAll(get.Body)
+	get.Body.Close()
+	if _, err := snapstore.Decode(frame); err != nil {
+		t.Fatalf("shipped frame fails snapstore.Decode: %v", err)
+	}
+}

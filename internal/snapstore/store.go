@@ -46,6 +46,12 @@ var (
 	// decoder, or its invariant audit. The offending file has already been
 	// quarantined when this is returned; the caller should re-simulate.
 	ErrCorrupt = errors.New("snapstore: snapshot corrupt (quarantined)")
+	// ErrVersionMismatch reports an intact snapshot written by a different
+	// codec version than this build reads — a mixed-version cluster, not
+	// corruption. The file (or wire payload) passed its CRC, so it is NOT
+	// quarantined: a newer binary sharing the directory can still read it,
+	// and this process simply re-simulates.
+	ErrVersionMismatch = errors.New("snapstore: snapshot codec version mismatch")
 )
 
 // crcTable is the ECMA polynomial table; package-level so Put and Get share
@@ -178,28 +184,59 @@ func (s *Store) Get(key string) (*dd.Snapshot, error) {
 	}
 	snap, err := decodeChecked(data)
 	if err != nil {
+		if errors.Is(err, ErrVersionMismatch) {
+			// The frame is intact — a different codec version wrote it. Leave
+			// the file for binaries that can read it; this process treats the
+			// key as a miss and re-simulates.
+			s.misses.Inc()
+			return nil, fmt.Errorf("%w (key %s)", err, key)
+		}
 		return nil, s.quarantineFile(path, key, err)
 	}
 	s.reads.Inc()
 	return snap, nil
 }
 
+// Encode frames snap in the store's wire format: the dd binary snapshot
+// image followed by a little-endian CRC-64 (ECMA) trailer over it. This is
+// byte-for-byte the on-disk file format, exported so the cluster's
+// snapshot-shipping endpoints exchange exactly the integrity guarantees of a
+// persisted file — CRC against torn transfers, versioned header against
+// mixed-version peers.
+func Encode(snap *dd.Snapshot) []byte {
+	payload := dd.EncodeSnapshot(snap)
+	var trailer [8]byte
+	binary.LittleEndian.PutUint64(trailer[:], crc64.Checksum(payload, crcTable))
+	return append(payload, trailer[:]...)
+}
+
+// Decode parses and fully audits an Encode frame: CRC trailer, structural
+// decode, invariant audit. Damage at any layer returns an error wrapping
+// ErrCorrupt; a frame written by a different codec version returns one
+// wrapping ErrVersionMismatch instead, so mixed-version clusters fail clean
+// (fall back to re-simulation) rather than treating a healthy peer's bytes
+// as corruption.
+func Decode(data []byte) (*dd.Snapshot, error) { return decodeChecked(data) }
+
 // decodeChecked runs the three integrity layers in order: CRC trailer,
 // structural decode, invariant audit.
 func decodeChecked(data []byte) (*dd.Snapshot, error) {
 	if len(data) < 8 {
-		return nil, fmt.Errorf("file shorter than the CRC trailer")
+		return nil, fmt.Errorf("%w: frame shorter than the CRC trailer", ErrCorrupt)
 	}
 	payload, trailer := data[:len(data)-8], data[len(data)-8:]
 	if got, want := crc64.Checksum(payload, crcTable), binary.LittleEndian.Uint64(trailer); got != want {
-		return nil, fmt.Errorf("CRC mismatch: computed %016x, stored %016x", got, want)
+		return nil, fmt.Errorf("%w: CRC mismatch: computed %016x, stored %016x", ErrCorrupt, got, want)
 	}
 	snap, err := dd.DecodeSnapshot(payload)
 	if err != nil {
-		return nil, err
+		if errors.Is(err, dd.ErrSnapshotVersion) {
+			return nil, fmt.Errorf("%w: %v", ErrVersionMismatch, err)
+		}
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	if err := snap.Verify(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return snap, nil
 }

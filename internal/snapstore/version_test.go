@@ -1,0 +1,93 @@
+package snapstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// reframeVersion rewrites an Encode frame so its header claims codec version
+// v, recomputing the CRC trailer so the frame is intact — exactly what a
+// peer running a newer build would produce.
+func reframeVersion(t *testing.T, frame []byte, v uint16) []byte {
+	t.Helper()
+	if len(frame) < 16 {
+		t.Fatal("frame too short to reframe")
+	}
+	payload := append([]byte{}, frame[:len(frame)-8]...)
+	binary.LittleEndian.PutUint16(payload[4:], v)
+	var trailer [8]byte
+	binary.LittleEndian.PutUint64(trailer[:], crc64.Checksum(payload, crcTable))
+	return append(payload, trailer[:]...)
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	snap := testSnapshot(t)
+	dec, err := Decode(Encode(snap))
+	if err != nil {
+		t.Fatalf("Decode(Encode(snap)): %v", err)
+	}
+	if dec.Len() != snap.Len() || dec.Root() != snap.Root() || dec.RootWeight() != snap.RootWeight() {
+		t.Fatal("wire round trip diverges from the source snapshot")
+	}
+}
+
+func TestDecodeVersionMismatchTyped(t *testing.T) {
+	frame := reframeVersion(t, Encode(testSnapshot(t)), 99)
+	_, err := Decode(frame)
+	if !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("Decode of newer-version frame: %v, want ErrVersionMismatch", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatalf("version mismatch must not read as corruption: %v", err)
+	}
+	// Genuine damage still classifies as corruption, not version skew.
+	bad := Encode(testSnapshot(t))
+	bad[len(bad)-1] ^= 0x40
+	if _, err := Decode(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Decode of damaged frame: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestGetVersionMismatchNotQuarantined: a stored snapshot written by a newer
+// codec version reads as a typed miss and the file survives untouched — a
+// newer binary sharing the directory can still use it, and this process
+// simply re-simulates the circuit.
+func TestGetVersionMismatchNotQuarantined(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(testKey, testSnapshot(t)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(st.Dir(), testKey+ext)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, reframeVersion(t, data, 7), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = st.Get(testKey)
+	if !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("Get: %v, want ErrVersionMismatch", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get classified version skew as corruption: %v", err)
+	}
+	entries, _ := os.ReadDir(st.Dir())
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), corruptExt) {
+			t.Fatalf("version-mismatched file was quarantined as %s", e.Name())
+		}
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("original file is gone: %v", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"weaksim/internal/algo"
 	"weaksim/internal/circuit"
+	"weaksim/internal/cluster"
 	"weaksim/internal/cnum"
 	"weaksim/internal/core"
 	"weaksim/internal/dd"
@@ -792,6 +793,69 @@ func (d *Daemon) Shutdown(ctx context.Context) error { return d.inner.Shutdown(c
 
 // Close stops the daemon without draining.
 func (d *Daemon) Close() error { return d.inner.Close() }
+
+// ClusterConfig carries the router-side knobs of a replica cluster (see
+// ServeCluster). Zero fields select the cluster package defaults.
+type ClusterConfig struct {
+	// Addr is the router's listen address ("" or ":0" = ephemeral port).
+	Addr string
+	// Backends is the static replica list: base URLs or host:port pairs.
+	Backends []string
+	// BackendsFile, when non-empty, is a watched membership file (one
+	// replica URL per line, #-comments ignored) that is polled and applied
+	// live — the ring rebuilds and only ~1/N of circuit placements move.
+	BackendsFile string
+	// ReplicaCount is how many warm snapshot copies beyond the primary each
+	// circuit keeps (also the failover depth). 0 selects the default, -1
+	// disables replication.
+	ReplicaCount int
+	// ProbeInterval is the /readyz health-probe cadence.
+	ProbeInterval time.Duration
+	// RequestTimeout bounds one forwarded exchange.
+	RequestTimeout time.Duration
+}
+
+// ClusterRouter is a running cluster front door (see ServeCluster).
+type ClusterRouter struct{ inner *cluster.Router }
+
+// ServeCluster starts a cluster router over a fleet of sampling daemons
+// started with Serve (or weaksimd): every circuit is consistent-hashed by
+// its canonical key onto a primary replica (plus ReplicaCount warm copies),
+// dead replicas are probe-ejected and failed over, and frozen snapshots are
+// shipped between replicas so each circuit is strongly simulated at most
+// once fleet-wide. Normalization and metrics ride in as regular Options and
+// must match the replicas — the routing function is the replicas' cache-key
+// function.
+func ServeCluster(cc ClusterConfig, opts ...Option) (*ClusterRouter, error) {
+	cfg := newConfig(opts)
+	router, err := cluster.NewRouter(cluster.Config{
+		Addr:           cc.Addr,
+		Backends:       cc.Backends,
+		BackendsFile:   cc.BackendsFile,
+		ReplicaCount:   cc.ReplicaCount,
+		ProbeInterval:  cc.ProbeInterval,
+		RequestTimeout: cc.RequestTimeout,
+		Norm:           cfg.norm,
+		Metrics:        cfg.reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := router.Start(); err != nil {
+		return nil, err
+	}
+	return &ClusterRouter{inner: router}, nil
+}
+
+// Addr returns the router's bound listen address.
+func (c *ClusterRouter) Addr() string { return c.inner.Addr() }
+
+// Shutdown drains the router: stop accepting requests, then wait for
+// in-flight snapshot replication (until ctx expires).
+func (c *ClusterRouter) Shutdown(ctx context.Context) error { return c.inner.Shutdown(ctx) }
+
+// Close stops the router with a short drain bound.
+func (c *ClusterRouter) Close() error { return c.inner.Close() }
 
 // TopOutcomes returns the k most probable measurement outcomes exactly, in
 // descending order, via best-first search over the decision diagram — no

@@ -87,3 +87,92 @@ func TestServeFacadeNodeBudget(t *testing.T) {
 		t.Fatalf("code=%q, want memory_out", eb.Error.Code)
 	}
 }
+
+// TestServeClusterFacade stands up two daemons plus a cluster router through
+// the public facade and samples through the router: the same circuit must
+// keep landing on the same replica, warm after the first request, and the
+// cluster status endpoint must report both backends healthy.
+func TestServeClusterFacade(t *testing.T) {
+	d1, err := weaksim.Serve(weaksim.ServeConfig{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer d1.Close()
+	d2, err := weaksim.Serve(weaksim.ServeConfig{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer d2.Close()
+
+	router, err := weaksim.ServeCluster(weaksim.ClusterConfig{
+		Addr:     "127.0.0.1:0",
+		Backends: []string{d1.Addr(), d2.Addr()},
+	})
+	if err != nil {
+		t.Fatalf("ServeCluster: %v", err)
+	}
+	defer router.Close()
+
+	var backend string
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post("http://"+router.Addr()+"/v1/sample", "application/json",
+			strings.NewReader(`{"circuit":"ghz_5","shots":32,"seed":4}`))
+		if err != nil {
+			t.Fatalf("post via router: %v", err)
+		}
+		var body struct {
+			Counts map[string]int `json:"counts"`
+			Cached bool           `json:"cached"`
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status=%d", resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		resp.Body.Close()
+		name := resp.Header.Get("X-Weaksim-Backend")
+		switch {
+		case i == 0:
+			backend = name
+			if name == "" {
+				t.Fatal("missing X-Weaksim-Backend")
+			}
+		case name != backend:
+			t.Fatalf("circuit moved backend: %s then %s", backend, name)
+		case !body.Cached:
+			t.Fatal("second request not served warm")
+		}
+		total := 0
+		for _, n := range body.Counts {
+			total += n
+		}
+		if total != 32 {
+			t.Fatalf("counts sum to %d, want 32", total)
+		}
+	}
+
+	resp, err := http.Get("http://" + router.Addr() + "/v1/cluster")
+	if err != nil {
+		t.Fatalf("cluster status: %v", err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Backends []struct {
+			Healthy bool `json:"healthy"`
+		} `json:"backends"`
+		ReplicaCount int `json:"replica_count"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode status: %v", err)
+	}
+	if len(st.Backends) != 2 || !st.Backends[0].Healthy || !st.Backends[1].Healthy {
+		t.Fatalf("cluster status: %+v", st)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := router.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
