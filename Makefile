@@ -18,6 +18,11 @@
 #   make cluster-gate replica-cluster e2e: 3 in-process replicas + router,
 #                     cold/warm/kill-one-mid-load, zero failed requests and
 #                     zero second strong simulations (see cmd/clustergate)
+#   make job-gate     durable batch-job e2e: build the real weaksimd binary,
+#                     SIGKILL it mid-run, restart, and assert every job
+#                     finishes with counts bit-identical to an uninterrupted
+#                     reference run and at most one re-sampled chunk per job
+#                     (see cmd/jobgate)
 #   make lint         go vet plus staticcheck (when installed; CI pins
 #                     STATICCHECK_VERSION)
 #
@@ -31,7 +36,7 @@ GO ?= go
 # staticcheck binary is on PATH — we never install tools implicitly).
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: check build vet test fmt-check lint race race-stress chaos fuzz-smoke bench bench-frozen bench-gate bench-json cover cover-gate slo-gate cluster-gate table serve clean
+.PHONY: check build vet test fmt-check lint race race-stress chaos fuzz-smoke bench bench-frozen bench-gate bench-json cover cover-gate slo-gate cluster-gate job-gate table serve clean
 
 check: vet build test
 
@@ -144,6 +149,13 @@ slo-gate:
 # distinct circuits. See cmd/clustergate.
 cluster-gate:
 	$(GO) run ./cmd/clustergate
+
+# Durable batch-job e2e gate: build weaksimd, run three jobs uninterrupted
+# for reference counts, SIGKILL a second daemon mid-run, restart it on the
+# same WAL dir, and assert all jobs complete bit-identically with at most
+# one re-sampled chunk per job. See cmd/jobgate.
+job-gate:
+	$(GO) run ./cmd/jobgate
 
 # Regenerate the Table I rows that fit a laptop.
 table:

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+// TestGate runs the full kill-and-resume gate — build weaksimd, reference
+// run, SIGKILL mid-run, resume — as a regular test, so `go test ./...`
+// exercises the same contract CI's `make job-gate` does.
+func TestGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e; skipped in -short")
+	}
+	if err := gate(); err != nil {
+		t.Fatalf("job gate: %v", err)
+	}
+}

@@ -41,6 +41,17 @@
 // circuits without re-running strong simulation. Files failing the CRC or
 // the DD invariant audit are quarantined as *.corrupt and re-simulated.
 //
+// With -jobs-dir, the daemon also runs durable batch jobs (POST /v1/jobs):
+// shots are sampled in checkpointed chunks under a WAL, so a crash or kill
+// loses at most one in-flight chunk per job and a restart resumes every
+// job with final counts bit-identical to an uninterrupted run.
+// -job-workers sizes the chunk executor, -job-chunk-shots the checkpoint
+// granularity, -job-tenant-weights the fair-share split, and
+// -job-max-per-tenant the per-tenant active-job quota (429 beyond it).
+//
+// On startup the daemon logs one JSON line of the fully-resolved effective
+// config ({"event":"effective_config",...}) for field debugging.
+//
 // -fault (or $WEAKSIM_FAULT) arms the deterministic fault-injection
 // framework for chaos testing; never set it in production.
 //
@@ -64,12 +75,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -77,6 +90,7 @@ import (
 	"weaksim/internal/cluster"
 	"weaksim/internal/dd"
 	"weaksim/internal/fault"
+	"weaksim/internal/job"
 	"weaksim/internal/obs"
 	"weaksim/internal/serve"
 )
@@ -118,6 +132,12 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- *serve.Server, cl
 		faultSpec   = fs.String("fault", os.Getenv("WEAKSIM_FAULT"), "chaos-testing fault spec, e.g. \"dd.freeze:err@3,snapstore.write:corrupt@1\" (default $WEAKSIM_FAULT)")
 		faultSeed   = fs.Uint64("fault-seed", 1, "deterministic seed for fault byte corruption")
 
+		jobsDir       = fs.String("jobs-dir", "", "durable batch-job WAL directory; restarts resume every non-terminal job (empty = in-memory jobs)")
+		jobWorkers    = fs.Int("job-workers", job.DefaultWorkers, "batch-job chunk executor pool size")
+		jobChunkShots = fs.Int("job-chunk-shots", job.DefaultChunkShots, "default shots per batch-job checkpoint chunk")
+		jobWeights    = fs.String("job-tenant-weights", "", "fair-share scheduler weights, e.g. \"acme=10,guest=1\" (unlisted tenants weigh 1)")
+		jobMaxTenant  = fs.Int("job-max-per-tenant", job.DefaultMaxPerTenant, "active batch jobs per tenant before submissions answer HTTP 429")
+
 		clusterMode   = fs.Bool("cluster", false, "run as a cluster router over a replica fleet instead of a replica")
 		backends      = fs.String("backends", "", "cluster mode: comma-separated replica base URLs")
 		backendsFile  = fs.String("backends-file", "", "cluster mode: watched membership file, one replica URL per line (#-comments ok)")
@@ -134,6 +154,11 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- *serve.Server, cl
 	if err != nil {
 		return err
 	}
+	tenantWeights, err := parseTenantWeights(*jobWeights)
+	if err != nil {
+		return err
+	}
+	logEffectiveConfig(stdout, fs, *clusterMode)
 	if *faultSpec != "" {
 		if err := fault.Enable(*faultSpec, *faultSeed); err != nil {
 			return err
@@ -202,6 +227,11 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- *serve.Server, cl
 		FlightDir:            *flightDir,
 		FlightSlots:          *flightSlots,
 		DisableRequestTraces: *noTraces,
+		JobsDir:              *jobsDir,
+		JobWorkers:           *jobWorkers,
+		JobChunkShots:        *jobChunkShots,
+		JobTenantWeights:     tenantWeights,
+		JobMaxPerTenant:      *jobMaxTenant,
 		Metrics:              obs.NewRegistry(),
 	})
 	if err := srv.Start(); err != nil {
@@ -231,4 +261,49 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- *serve.Server, cl
 	}
 	fmt.Fprintln(stdout, "weaksimd: bye")
 	return nil
+}
+
+// parseTenantWeights parses "-job-tenant-weights", a comma list of
+// name=weight pairs with positive integer weights.
+func parseTenantWeights(s string) (map[string]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	weights := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		name = strings.TrimSpace(name)
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if !ok || name == "" || err != nil || w < 1 {
+			return nil, fmt.Errorf("invalid tenant weight %q (want name=positive-integer)", part)
+		}
+		weights[name] = w
+	}
+	return weights, nil
+}
+
+// logEffectiveConfig emits one structured JSON line with every flag's
+// fully-resolved value (defaults applied, overrides folded in), so a log
+// scrape answers "what was this daemon actually running with" without
+// reconstructing the command line.
+func logEffectiveConfig(w io.Writer, fs *flag.FlagSet, clusterMode bool) {
+	flags := make(map[string]string)
+	fs.VisitAll(func(f *flag.Flag) { flags[f.Name] = f.Value.String() })
+	mode := "replica"
+	if clusterMode {
+		mode = "cluster"
+	}
+	line, err := json.Marshal(map[string]any{
+		"event": "effective_config",
+		"mode":  mode,
+		"flags": flags,
+	})
+	if err != nil {
+		return
+	}
+	fmt.Fprintln(w, string(line))
 }

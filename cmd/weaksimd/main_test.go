@@ -321,6 +321,163 @@ func TestRunFaultFlag(t *testing.T) {
 	}
 }
 
+func TestParseTenantWeights(t *testing.T) {
+	got, err := parseTenantWeights(" acme=10, guest=1 ,,bulk=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"acme": 10, "guest": 1, "bulk": 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseTenantWeights=%v, want %v", got, want)
+	}
+	if got, err := parseTenantWeights("  "); err != nil || got != nil {
+		t.Fatalf("blank spec: got %v, %v; want nil, nil", got, err)
+	}
+	for _, bad := range []string{"acme", "acme=", "acme=0", "acme=-2", "=5", "acme=ten"} {
+		if _, err := parseTenantWeights(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-job-tenant-weights", "acme=zero"}, &out, &errBuf, nil, nil, nil); err == nil {
+		t.Fatal("bad -job-tenant-weights accepted by run")
+	}
+}
+
+// TestRunEffectiveConfigLine checks the startup log's structured config
+// line: one JSON object carrying the mode and every flag's resolved value,
+// defaults and overrides alike.
+func TestRunEffectiveConfigLine(t *testing.T) {
+	ready := make(chan *serve.Server, 1)
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	var out, errBuf bytes.Buffer
+	go func() {
+		errc <- run([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "5s",
+			"-job-workers", "3", "-job-tenant-weights", "acme=10,guest=1"},
+			&out, &errBuf, ready, nil, stop)
+	}()
+	select {
+	case <-ready:
+	case err := <-errc:
+		t.Fatalf("run exited early: %v (stderr: %s)", err, errBuf.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	defer func() {
+		close(stop)
+		<-errc
+	}()
+
+	var line string
+	for _, l := range strings.Split(out.String(), "\n") {
+		if strings.Contains(l, `"event":"effective_config"`) {
+			line = l
+			break
+		}
+	}
+	if line == "" {
+		t.Fatalf("no effective_config line on stdout:\n%s", out.String())
+	}
+	var cfg struct {
+		Event string            `json:"event"`
+		Mode  string            `json:"mode"`
+		Flags map[string]string `json:"flags"`
+	}
+	if err := json.Unmarshal([]byte(line), &cfg); err != nil {
+		t.Fatalf("config line is not valid JSON: %v\n%s", err, line)
+	}
+	if cfg.Mode != "replica" {
+		t.Fatalf("mode=%q, want replica", cfg.Mode)
+	}
+	for flag, want := range map[string]string{
+		"job-workers":        "3",               // override
+		"job-tenant-weights": "acme=10,guest=1", // override
+		"job-chunk-shots":    "65536",           // default, resolved
+		"norm":               "l2phase",         // default, resolved
+		"addr":               "127.0.0.1:0",
+	} {
+		if got := cfg.Flags[flag]; got != want {
+			t.Errorf("flags[%q]=%q, want %q", flag, got, want)
+		}
+	}
+}
+
+// TestRunJobFlags boots the daemon with the batch-job flags and drives one
+// job through the HTTP surface: submit, poll to completion, fetch the
+// merged result.
+func TestRunJobFlags(t *testing.T) {
+	dir := t.TempDir()
+	srv, shutdown := bootDaemon(t, "-jobs-dir", dir, "-job-workers", "2", "-job-chunk-shots", "512")
+	defer shutdown()
+
+	resp, err := http.Post("http://"+srv.Addr()+"/v1/jobs", "application/json",
+		strings.NewReader(`{"circuit":"ghz_3","shots":2048,"seed":7}`))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var st struct {
+		ID    string `json:"job_id"`
+		State string `json:"state"`
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("submit status=%d body=%s", resp.StatusCode, raw)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode submit: %v", err)
+	}
+	resp.Body.Close()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for st.State != "completed" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %q", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		r, err := http.Get("http://" + srv.Addr() + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+
+	r, err := http.Get("http://" + srv.Addr() + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(r.Body)
+		t.Fatalf("result status=%d body=%s", r.StatusCode, raw)
+	}
+	var res struct {
+		Counts map[string]int `json:"counts"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for bits, n := range res.Counts {
+		if bits != "000" && bits != "111" {
+			t.Fatalf("impossible GHZ bitstring %q", bits)
+		}
+		total += n
+	}
+	if total != 2048 {
+		t.Fatalf("counts sum to %d, want 2048", total)
+	}
+	// The WAL must have materialized in -jobs-dir.
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.jlog"))
+	if len(segs) == 0 {
+		t.Fatalf("no WAL segment in %s", dir)
+	}
+}
+
 // TestRunClusterMode boots two replica daemons plus a -cluster router over
 // them and samples through the router: the response must come from a named
 // backend, repeat warm from the same one, and the router must drain cleanly.

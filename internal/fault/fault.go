@@ -92,6 +92,19 @@ const (
 	// primary's integrity checks. Corruption here must degrade to
 	// re-simulation on the target, never to a failed client request.
 	ClusterSnapFetch = "cluster.snapfetch"
+	// JobWALWrite is a byte-stream hook over each batch-job WAL record frame
+	// before it is appended — chaos tests forge torn and bit-rotted job logs
+	// without hex-editing segment files.
+	JobWALWrite = "job.wal.write"
+	// JobWALReplay is a byte-stream hook over each WAL segment's bytes after
+	// they are read and before record scanning, so replay-side corruption
+	// (quarantine, torn-tail truncation) is exercised deterministically.
+	JobWALReplay = "job.wal.replay"
+	// JobChunkSample fires before each batch-job chunk executes. An injected
+	// err fails the chunk (and with it the job, through the terminal-state
+	// ladder); latency stretches a chunk so kill-and-resume tests can land a
+	// crash mid-chunk.
+	JobChunkSample = "job.chunk.sample"
 )
 
 // Points returns the registered injection-point catalogue.
@@ -102,6 +115,7 @@ func Points() []string {
 		ServeSim, ServeQueueSubmit, ServeCacheAdmit,
 		SnapstoreWrite, SnapstoreRead,
 		ClusterConnect, ClusterSnapFetch,
+		JobWALWrite, JobWALReplay, JobChunkSample,
 	}
 }
 

@@ -1,0 +1,300 @@
+package job
+
+// Fault-injection coverage for the job tier's three chaos points
+// (job.wal.write, job.wal.replay, job.chunk.sample) plus the recovery
+// behaviors that only matter under damage: terminal-job retention and
+// replay of a WAL containing garbage records. Runs in `make chaos` via the
+// Fault name pattern.
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"weaksim/internal/fault"
+)
+
+// TestFaultWALWriteCorrupt arms byte corruption on the WAL append path:
+// the running manager is unaffected (the in-memory state is the source of
+// truth until restart), but the reopening manager must detect the mangled
+// record by CRC, quarantine the segment, and come up empty rather than
+// resurrect damaged state.
+func TestFaultWALWriteCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if err := fault.Enable("job.wal.write:corrupt@1", 7); err != nil {
+		t.Fatal(err)
+	}
+	m := startManager(t, Config{Dir: dir})
+	// First append is the submit record — the corrupted one.
+	st, err := m.Submit(testSpec("jwc", 100, 50))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitFor(t, m, st.ID, completed)
+	fault.Disable()
+	ctx, cancel := testCtx()
+	defer cancel()
+	if err := m.Stop(ctx); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+
+	m2 := startManager(t, Config{Dir: dir})
+	if _, err := m2.Get(st.ID); err == nil {
+		t.Fatal("job replayed from a segment whose submit record was corrupted on write")
+	}
+	corrupt, _ := filepath.Glob(filepath.Join(dir, "*"+corruptExt))
+	if len(corrupt) == 0 {
+		t.Fatal("no quarantined segment after corrupt-on-write")
+	}
+	// The store must still be serviceable.
+	st2, err := m2.Submit(testSpec("jwc2", 100, 50))
+	if err != nil {
+		t.Fatalf("Submit after quarantine: %v", err)
+	}
+	waitFor(t, m2, st2.ID, completed)
+}
+
+// TestFaultWALReplayCorrupt damages the bytes as they are read back:
+// replay must detect the flip by CRC and salvage — keep the valid record
+// prefix, quarantine or truncate the damage — and whatever job state
+// survives must be coherent: absent, or resumable to a bit-exact result.
+func TestFaultWALReplayCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	m := startManager(t, Config{Dir: dir})
+	st, err := m.Submit(testSpec("jrc", 100, 50))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitFor(t, m, st.ID, completed)
+	ctx, cancel := testCtx()
+	defer cancel()
+	if err := m.Stop(ctx); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	before, _ := filepath.Glob(filepath.Join(dir, "*"+segExt))
+	if len(before) == 0 {
+		t.Fatal("no WAL segment to damage")
+	}
+	origSize := fileSize(t, before[0])
+
+	if err := fault.Enable("job.wal.replay:corrupt@1", 11); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disable()
+	m2 := startManager(t, Config{Dir: dir})
+	// The damage was detected one way or the other: either the segment was
+	// quarantined (mid-segment CRC failure) or its tail was truncated away
+	// (flip landed in the final record). Salvage also rewrites the live
+	// state into a fresh segment, so "nothing changed" is a failure.
+	corrupt, _ := filepath.Glob(filepath.Join(dir, "*"+corruptExt))
+	after, _ := filepath.Glob(filepath.Join(dir, "*"+segExt))
+	damageSeen := len(corrupt) > 0
+	for _, f := range after {
+		if f == before[0] && fileSize(t, f) == origSize {
+			continue
+		}
+		damageSeen = true
+	}
+	if !damageSeen {
+		t.Fatal("corrupt-on-replay left the WAL byte-identical: the flip was not detected")
+	}
+	// Whatever survived must still be serviceable and exact.
+	if _, err := m2.Get(st.ID); err == nil {
+		final := waitFor(t, m2, st.ID, completed)
+		counts, err := m2.Result(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, n := range counts {
+			total += n
+		}
+		if total != 100 {
+			t.Fatalf("salvaged job's counts sum to %d, want 100 (status %+v)", total, final)
+		}
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+// TestFaultChunkSampleErr injects a failure at the chunk-sampling point:
+// an unclassified chunk error is a deterministic verdict, so the job must
+// fail terminally (code "internal"), never spin in retries.
+func TestFaultChunkSampleErr(t *testing.T) {
+	if err := fault.Enable("job.chunk.sample:err@1", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disable()
+	m := startManager(t, Config{Dir: t.TempDir()})
+	st, err := m.Submit(testSpec("jcs", 100, 50))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	final := waitFor(t, m, st.ID, func(s Status) bool { return s.State.Terminal() })
+	if final.State != StateFailed || final.ErrorCode != "internal" {
+		t.Fatalf("state=%s code=%q, want failed/internal", final.State, final.ErrorCode)
+	}
+}
+
+// TestReplayIgnoresGarbageRecords replays a WAL salted with structurally
+// valid frames carrying nonsense payloads — malformed JSON, chunks for
+// unknown jobs, out-of-range chunk indices, a non-terminal state record, a
+// checkpoint for a ghost job — and requires replay to keep exactly the
+// coherent subset.
+func TestReplayIgnoresGarbageRecords(t *testing.T) {
+	dir := t.TempDir()
+	w, _, _ := openTestWAL(t, dir, 0)
+	good := testSpec("jok", 100, 50)
+	records := []Record{
+		mustRecord(recSubmit, good),
+		{Type: recSubmit, Payload: []byte(`{"id":`)},                             // malformed JSON
+		{Type: recSubmit, Payload: []byte(`{"id":"jbad"}`)},                      // fails Validate
+		mustRecord(recChunk, chunkRecord{ID: "ghost", Chunk: 0, Shots: 50}),      // unknown job
+		mustRecord(recChunk, chunkRecord{ID: "jok", Chunk: 99, Shots: 50}),       // out of range
+		mustRecord(recChunk, chunkRecord{ID: "jok", Chunk: -1, Shots: 50}),       // negative
+		mustRecord(recState, stateRecord{ID: "jok", State: StateRunning}),        // non-terminal state
+		mustRecord(recState, stateRecord{ID: "ghost", State: StateFailed}),       // unknown job
+		mustRecord(recCheckpoint, checkpointRecord{ID: "ghost", Done: []int{0}}), // unknown job
+		{Type: 200, Payload: []byte(`{}`)},                                       // unknown record type
+		mustRecord(recChunk, chunkRecord{ID: "jok", Chunk: 0, Shots: 50,
+			Counts: map[string]int{"3": 50}}), // the one real chunk
+	}
+	for _, rec := range records {
+		if err := w.append(rec); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m := startManager(t, Config{Dir: dir})
+	list := m.List()
+	// Only jok survives; it resumes from its one replayed chunk and runs to
+	// completion.
+	if len(list) != 1 || list[0].ID != "jok" {
+		t.Fatalf("replayed jobs = %+v, want exactly jok", list)
+	}
+	st := waitFor(t, m, "jok", completed)
+	if st.ChunksRecovered != 1 {
+		t.Fatalf("recovered %d chunks, want 1", st.ChunksRecovered)
+	}
+	counts, err := m.Result("jok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["0011"] < 50 {
+		t.Fatalf("replayed chunk's counts missing: %v", counts)
+	}
+}
+
+// TestCheckpointSupersedesChunks replays submit + chunk + checkpoint and
+// requires the checkpoint to replace, not merge with, the earlier chunk
+// records.
+func TestCheckpointSupersedesChunks(t *testing.T) {
+	dir := t.TempDir()
+	w, _, _ := openTestWAL(t, dir, 0)
+	spec := testSpec("jcp", 200, 50) // 4 chunks
+	for _, rec := range []Record{
+		mustRecord(recSubmit, spec),
+		mustRecord(recChunk, chunkRecord{ID: "jcp", Chunk: 0, Shots: 50, Counts: map[string]int{"1": 50}}),
+		mustRecord(recChunk, chunkRecord{ID: "jcp", Chunk: 1, Shots: 50, Counts: map[string]int{"2": 50}}),
+		// Compaction summary claiming only chunk 2: the authoritative state.
+		mustRecord(recCheckpoint, checkpointRecord{ID: "jcp", Done: []int{2, 2, 99},
+			Counts: map[string]int{"5": 50}}),
+	} {
+		if err := w.append(rec); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m := startManager(t, Config{Dir: dir})
+	st, err := m.Get("jcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ChunksRecovered != 1 || st.ShotsDone < 50 {
+		t.Fatalf("checkpoint not authoritative: %+v", st)
+	}
+	final := waitFor(t, m, "jcp", completed)
+	if final.ChunksExecuted != 3 {
+		t.Fatalf("executed %d chunks after checkpoint replay, want 3", final.ChunksExecuted)
+	}
+}
+
+// TestTerminalRetention bounds the terminal ring: with RetainTerminal n,
+// only the n most recent settled jobs stay queryable.
+func TestTerminalRetention(t *testing.T) {
+	m := startManager(t, Config{Dir: t.TempDir(), RetainTerminal: 2})
+	var ids []string
+	for i := 0; i < 4; i++ {
+		st, err := m.Submit(testSpec(NewID(), 100, 100))
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		waitFor(t, m, st.ID, completed)
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids[:2] {
+		if _, err := m.Get(id); err == nil {
+			t.Errorf("evicted job %s still queryable", id)
+		}
+	}
+	for _, id := range ids[2:] {
+		if _, err := m.Get(id); err != nil {
+			t.Errorf("retained job %s lost: %v", id, err)
+		}
+	}
+	if got := len(m.List()); got != 2 {
+		t.Fatalf("List has %d jobs, want 2", got)
+	}
+}
+
+func testCtx() (ctx context.Context, cancel context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 5*time.Second)
+}
+
+// TestFaultCancelCommitWindow pins the cancel/commit race: commitChunk holds
+// the manager mutex across the WAL append, so a Cancel issued mid-run queues
+// on the mutex and often wakes in the window where the worker has committed
+// its chunk but not yet cleared the in-flight flag. The flag then points at
+// an already-finished chunk, the context cancellation is a no-op, and — since
+// the scheduler never picks a cancel-requested job — the job would stay
+// "running" forever unless the worker finishes the transition when it clears
+// the flag. The latency fault stretches every WAL append so the window is
+// hit reliably; every iteration must settle terminal.
+func TestFaultCancelCommitWindow(t *testing.T) {
+	if err := fault.Enable("job.wal.write:latency(3ms)", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disable()
+	m := startManager(t, Config{Dir: t.TempDir(), Workers: 2})
+	for i := 0; i < 20; i++ {
+		st, err := m.Submit(testSpec(NewID(), 400, 50)) // 8 quick chunks
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		waitFor(t, m, st.ID, func(s Status) bool {
+			return s.ChunksDone >= 1 || s.State.Terminal()
+		})
+		if _, err := m.Cancel(st.ID); err != nil {
+			t.Fatalf("Cancel %d: %v", i, err)
+		}
+		final := waitFor(t, m, st.ID, func(s Status) bool { return s.State.Terminal() })
+		if final.State != StateCancelled && final.State != StateCompleted {
+			t.Fatalf("iteration %d settled as %s", i, final.State)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package job
+
+// WAL record payloads (JSON inside the CRC-framed records of wal.go) and the
+// count-map codec. JSON keeps the log greppable in the field; integrity and
+// atomicity come from the frame layer, not the payload encoding.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// chunkRecord marks one chunk's tallies final.
+type chunkRecord struct {
+	ID     string         `json:"id"`
+	Chunk  int            `json:"chunk"`
+	Shots  int            `json:"shots"`
+	Counts map[string]int `json:"counts"`
+}
+
+// stateRecord is a terminal transition.
+type stateRecord struct {
+	ID      string `json:"id"`
+	State   State  `json:"state"`
+	ErrCode string `json:"err_code,omitempty"`
+	Err     string `json:"err,omitempty"`
+}
+
+// checkpointRecord is a compaction-time full snapshot of one job's progress.
+// On replay it supersedes every earlier chunk record for the job.
+type checkpointRecord struct {
+	ID     string         `json:"id"`
+	Done   []int          `json:"done"`
+	Counts map[string]int `json:"counts"`
+}
+
+// encodeCounts renders a basis-index tally as a JSON-safe map (decimal
+// uint64 keys).
+func encodeCounts(counts map[uint64]int) map[string]int {
+	out := make(map[string]int, len(counts))
+	for idx, n := range counts {
+		out[strconv.FormatUint(idx, 10)] = n
+	}
+	return out
+}
+
+// decodeCounts is the inverse of encodeCounts.
+func decodeCounts(in map[string]int) (map[uint64]int, error) {
+	out := make(map[uint64]int, len(in))
+	for key, n := range in {
+		idx, err := strconv.ParseUint(key, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("job: bad count key %q: %w", key, err)
+		}
+		out[idx] = n
+	}
+	return out, nil
+}
+
+// mustRecord marshals a payload into a Record; the payload types above
+// marshal unconditionally.
+func mustRecord(typ uint8, payload any) Record {
+	b, err := json.Marshal(payload)
+	if err != nil {
+		panic(fmt.Sprintf("job: marshal record type %d: %v", typ, err))
+	}
+	return Record{Type: typ, Payload: b}
+}

@@ -1,0 +1,161 @@
+package job
+
+import (
+	"testing"
+	"time"
+)
+
+// mkJob builds a minimal runnable jobState for scheduler tests.
+func mkJob(id, tenant string, prio, chunks int, enq time.Time) *jobState {
+	return &jobState{
+		spec: Spec{
+			ID:         id,
+			Tenant:     tenant,
+			Priority:   prio,
+			Shots:      chunks * 10,
+			ChunkShots: 10,
+		},
+		state:    StateQueued,
+		done:     make([]bool, chunks),
+		enqueued: enq,
+	}
+}
+
+// TestDRRWeightRatio drives the pick loop with instant completions: a 10:1
+// weight split must yield a 10:1 completed-chunk split exactly.
+func TestDRRWeightRatio(t *testing.T) {
+	s := newSched(map[string]int{"heavy": 10, "light": 1}, 64, 0)
+	now := time.Now()
+	a := mkJob("a", "heavy", PriorityNormal, 1000, now)
+	b := mkJob("b", "light", PriorityNormal, 1000, now)
+	s.enqueue(a)
+	s.enqueue(b)
+
+	served := map[string]int{}
+	for i := 0; i < 110; i++ {
+		j := s.pick(now)
+		if j == nil {
+			t.Fatalf("pick %d returned nil with backlog", i)
+		}
+		served[j.spec.Tenant]++
+		j.chunksDone++ // instant completion, chunk never in flight
+	}
+	if served["heavy"] != 100 || served["light"] != 10 {
+		t.Errorf("served heavy=%d light=%d, want 100/10", served["heavy"], served["light"])
+	}
+}
+
+// TestDRRNoStarvation: even a weight-1 tenant against a huge weight is served
+// within one rotation.
+func TestDRRNoStarvation(t *testing.T) {
+	s := newSched(map[string]int{"big": 1000}, 64, 0)
+	now := time.Now()
+	big := mkJob("big1", "big", PriorityNormal, 100000, now)
+	small := mkJob("small1", "small", PriorityNormal, 10, now)
+	s.enqueue(big)
+	s.enqueue(small)
+
+	servedSmall := 0
+	for i := 0; i < 2050; i++ {
+		j := s.pick(now)
+		if j == nil {
+			break
+		}
+		j.chunksDone++
+		if j == small {
+			servedSmall++
+		}
+	}
+	if servedSmall == 0 {
+		t.Error("weight-1 tenant starved across 2050 picks")
+	}
+}
+
+// TestPriorityWithinTenant: high beats normal beats low for the same tenant.
+func TestPriorityWithinTenant(t *testing.T) {
+	s := newSched(nil, 64, time.Hour)
+	now := time.Now()
+	low := mkJob("low", "t", PriorityLow, 10, now)
+	high := mkJob("high", "t", PriorityHigh, 10, now)
+	normal := mkJob("normal", "t", PriorityNormal, 10, now)
+	s.enqueue(low)
+	s.enqueue(high)
+	s.enqueue(normal)
+
+	if j := s.pick(now); j != high {
+		t.Fatalf("first pick = %v, want the high-priority job", j.spec.ID)
+	}
+}
+
+// TestAgingPromotes: a low-priority job that has waited two aging intervals
+// outranks a fresh normal job.
+func TestAgingPromotes(t *testing.T) {
+	aging := time.Minute
+	s := newSched(nil, 64, aging)
+	now := time.Now()
+	aged := mkJob("aged", "t", PriorityLow, 10, now.Add(-2*aging))
+	fresh := mkJob("fresh", "t", PriorityNormal, 10, now)
+	s.enqueue(fresh)
+	s.enqueue(aged)
+
+	if j := s.pick(now); j != aged {
+		t.Fatalf("first pick = %s, want the aged low-priority job", j.spec.ID)
+	}
+}
+
+// TestInflightCap: a tenant at its in-flight cap is skipped; capacity
+// elsewhere is used.
+func TestInflightCap(t *testing.T) {
+	s := newSched(map[string]int{"a": 10}, 1, 0)
+	now := time.Now()
+	a1 := mkJob("a1", "a", PriorityNormal, 10, now)
+	a2 := mkJob("a2", "a", PriorityNormal, 10, now)
+	b1 := mkJob("b1", "b", PriorityNormal, 10, now)
+	s.enqueue(a1)
+	s.enqueue(a2)
+	s.enqueue(b1)
+
+	j := s.pick(now)
+	if j == nil || j.spec.Tenant != "a" {
+		t.Fatalf("first pick should favor the weighted tenant, got %+v", j)
+	}
+	j.inflight = true
+	s.tenant("a").inflight = 1
+
+	j2 := s.pick(now)
+	if j2 != b1 {
+		t.Fatalf("capped tenant picked again: got %s, want b1", j2.spec.ID)
+	}
+}
+
+// TestBackoffGate: a job inside its notBefore window is not runnable.
+func TestBackoffGate(t *testing.T) {
+	s := newSched(nil, 64, 0)
+	now := time.Now()
+	j := mkJob("j", "t", PriorityNormal, 10, now)
+	j.notBefore = now.Add(time.Minute)
+	s.enqueue(j)
+
+	if got := s.pick(now); got != nil {
+		t.Fatalf("picked a backed-off job: %s", got.spec.ID)
+	}
+	if got := s.pick(now.Add(2 * time.Minute)); got != j {
+		t.Fatal("job not picked after its backoff expired")
+	}
+}
+
+// TestTerminalDequeued: terminal and cancel-requested jobs never get picked.
+func TestTerminalDequeued(t *testing.T) {
+	s := newSched(nil, 64, 0)
+	now := time.Now()
+	done := mkJob("done", "t", PriorityNormal, 10, now)
+	done.state = StateCompleted
+	cancelled := mkJob("c", "t", PriorityNormal, 10, now)
+	cancelled.cancelReq = true
+	s.enqueue(done)
+	s.enqueue(cancelled)
+
+	if got := s.pick(now); got != nil {
+		t.Fatalf("picked an unrunnable job: %s", got.spec.ID)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"weaksim/internal/circuit/qasm"
 	"weaksim/internal/core"
 	"weaksim/internal/dd"
+	"weaksim/internal/job"
 	"weaksim/internal/obs"
 	"weaksim/internal/statevec"
 )
@@ -112,6 +113,11 @@ type errorInfo struct {
 // retryAfter is the backoff hint attached to 429 responses.
 const retryAfter = time.Second
 
+// drainRetryAfter is the backoff hint attached to 503 (draining) responses:
+// long enough for the orchestrator to restart or reroute, same parity as
+// the 429 hint so every retryable rejection carries explicit guidance.
+const drainRetryAfter = 5 * time.Second
+
 // Handler returns the daemon's HTTP handler (also useful under httptest).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -119,6 +125,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/circuits", s.route("/v1/circuits", s.handleCircuits))
 	mux.HandleFunc("/v1/stats", s.route("/v1/stats", s.handleStats))
 	mux.HandleFunc("/v1/slo", s.route("/v1/slo", s.handleSLO))
+	mux.HandleFunc("/v1/jobs", s.route("/v1/jobs", s.handleJobs))
+	mux.HandleFunc("/v1/jobs/", s.route("/v1/jobs/", s.handleJobByID))
 	mux.HandleFunc("/healthz", s.route("/healthz", s.handleHealthz))
 	mux.HandleFunc("/readyz", s.route("/readyz", s.handleReadyz))
 	mux.HandleFunc(snapshotPathPrefix, s.route(snapshotPathPrefix, s.handleSnapshot))
@@ -209,8 +217,12 @@ func classify(err error) (int, string) {
 		return http.StatusGatewayTimeout, "cancelled"
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests, "queue_full" // 429 + Retry-After
+	case errors.Is(err, job.ErrQuota):
+		return http.StatusTooManyRequests, "quota_exceeded" // 429 + Retry-After
+	case errors.Is(err, job.ErrNotFound):
+		return http.StatusNotFound, "not_found"
 	case errors.Is(err, ErrDraining):
-		return http.StatusServiceUnavailable, "draining"
+		return http.StatusServiceUnavailable, "draining" // 503 + Retry-After
 	default:
 		return http.StatusInternalServerError, "internal"
 	}
@@ -230,9 +242,13 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		status, code = http.StatusBadRequest, "bad_request"
 	}
 	info := errorInfo{Code: code, Message: err.Error(), Status: status}
-	if status == http.StatusTooManyRequests {
+	switch status {
+	case http.StatusTooManyRequests:
 		info.RetryAfterMS = retryAfter.Milliseconds()
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(retryAfter.Seconds())))
+	case http.StatusServiceUnavailable:
+		info.RetryAfterMS = drainRetryAfter.Milliseconds()
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(drainRetryAfter.Seconds())))
 	}
 	writeJSON(w, status, errorBody{Error: info})
 }

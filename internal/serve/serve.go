@@ -34,6 +34,7 @@ import (
 	"weaksim/internal/circuit"
 	"weaksim/internal/dd"
 	"weaksim/internal/fault"
+	"weaksim/internal/job"
 	"weaksim/internal/obs"
 	"weaksim/internal/sim"
 	"weaksim/internal/snapstore"
@@ -119,6 +120,26 @@ type Config struct {
 	// DefaultSLOs(RequestTimeout); an explicit empty slice disables SLO
 	// evaluation.
 	SLOs []SLO
+	// JobsDir, when non-empty, makes the batch-job store durable: specs and
+	// chunk checkpoints go to a write-ahead log there, and a restarted
+	// daemon resumes every non-terminal job. Empty keeps jobs in memory
+	// only (they still run, but do not survive a restart).
+	JobsDir string
+	// JobWorkers sizes the chunk-executor pool (<= 0 selects
+	// job.DefaultWorkers).
+	JobWorkers int
+	// JobChunkShots is the checkpoint granularity when a submit does not
+	// choose one (<= 0 selects job.DefaultChunkShots).
+	JobChunkShots int
+	// JobMaxShots caps a single job's shot budget (<= 0 selects
+	// DefaultJobMaxShots). Deliberately distinct from MaxShots: jobs exist
+	// to exceed the per-request cap.
+	JobMaxShots int
+	// JobTenantWeights maps tenant name to fair-share weight (absent = 1).
+	JobTenantWeights map[string]int
+	// JobMaxPerTenant is the per-tenant non-terminal job quota (<= 0
+	// selects job.DefaultMaxPerTenant); overruns are HTTP 429.
+	JobMaxPerTenant int
 }
 
 // withDefaults resolves zero fields.
@@ -156,6 +177,9 @@ func (c Config) withDefaults() Config {
 	if c.SLOs == nil {
 		c.SLOs = DefaultSLOs(c.RequestTimeout)
 	}
+	if c.JobMaxShots <= 0 {
+		c.JobMaxShots = DefaultJobMaxShots
+	}
 	return c
 }
 
@@ -168,6 +192,7 @@ type Server struct {
 	ln    net.Listener
 	debug *obs.DebugServer
 	store *snapstore.Store
+	jobs  *job.Manager
 	start time.Time
 
 	// draining flips when Shutdown begins: /readyz turns 503 so load
@@ -212,6 +237,10 @@ var tracedEndpoints = map[string]string{
 	"/v1/slo":      "slo",
 	"/healthz":     "healthz",
 	"/readyz":      "readyz",
+	"/v1/jobs":     "jobs",
+	// Every /v1/jobs/{id}[...] request lands in one histogram, keyed by the
+	// route prefix.
+	"/v1/jobs/": "job",
 	// The snapshot-shipping route is keyed by its prefix; every
 	// /v1/snapshot/{hash} request lands in one histogram.
 	snapshotPathPrefix: "snapshot",
@@ -249,6 +278,19 @@ func New(cfg Config) *Server {
 		obs.RegisterHelp(name, "Request latency for "+path+" in nanoseconds.")
 		s.epHists[path] = reg.Histogram(name, obs.ServeLatencyBounds)
 	}
+	// The batch-job subsystem rides the same cache/flight/pool machinery via
+	// jobSnapshot; it always exists (in-memory without JobsDir) so the API
+	// surface does not depend on deployment flags.
+	s.jobs = job.NewManager(job.Config{
+		Dir:               cfg.JobsDir,
+		Workers:           cfg.JobWorkers,
+		DefaultChunkShots: cfg.JobChunkShots,
+		TenantWeights:     cfg.JobTenantWeights,
+		MaxPerTenant:      cfg.JobMaxPerTenant,
+		Snapshot:          s.jobSnapshot,
+		Metrics:           reg,
+		Recorder:          s.recorder,
+	})
 	s.http = &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
@@ -268,6 +310,12 @@ func (s *Server) Start() error {
 		store.SetObserver(s.cfg.Metrics)
 		s.store = store
 		s.warmRestart()
+	}
+	// Jobs start before the listener: WAL replay resumes any non-terminal
+	// jobs immediately (their chunks run through the same pool the HTTP
+	// surface uses), and a replay failure should abort startup, not serve.
+	if err := s.jobs.Start(); err != nil {
+		return fmt.Errorf("serve: job store: %w", err)
 	}
 	addr := s.cfg.Addr
 	if addr == "" {
@@ -318,6 +366,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	fault.SetObserver(nil)
 	err := s.http.Shutdown(ctx)
+	// Jobs stop before the pool closes: in-flight chunks get to finish (and
+	// checkpoint) while their snapshot lookups can still run; whatever the
+	// drain window cuts off resumes from the WAL on the next start.
+	if jerr := s.jobs.Stop(ctx); err == nil {
+		err = jerr
+	}
 	if perr := s.pool.close(ctx); err == nil {
 		err = perr
 	}

@@ -741,6 +741,23 @@ type ServeConfig struct {
 	// X-Weaksim-Trace-Id response header, no debug=1 breakdown. The
 	// disabled path allocates nothing per request.
 	DisableRequestTraces bool
+	// JobsDir, when non-empty, enables the durable batch-job store: job
+	// specs and chunk checkpoints are WAL-persisted there, and a restarted
+	// daemon resumes every non-terminal job losing at most one in-flight
+	// chunk, with final counts bit-identical to an uninterrupted run.
+	// Empty keeps jobs in memory only (lost on restart).
+	JobsDir string
+	// JobWorkers sizes the batch-chunk executor pool (0 = default).
+	JobWorkers int
+	// JobChunkShots is the default checkpoint granularity in shots for
+	// jobs that do not pick their own (0 = default).
+	JobChunkShots int
+	// JobTenantWeights sets per-tenant fair-share weights for the
+	// deficit-round-robin chunk scheduler (unlisted tenants weigh 1).
+	JobTenantWeights map[string]int
+	// JobMaxPerTenant caps active (non-terminal) jobs per tenant; at the
+	// cap, submissions answer HTTP 429 (0 = default).
+	JobMaxPerTenant int
 }
 
 // Daemon is a running sampling-as-a-service instance (see Serve).
@@ -774,6 +791,11 @@ func Serve(sc ServeConfig, opts ...Option) (*Daemon, error) {
 		SnapshotDir:          sc.SnapshotDir,
 		FlightDir:            sc.FlightDir,
 		DisableRequestTraces: sc.DisableRequestTraces,
+		JobsDir:              sc.JobsDir,
+		JobWorkers:           sc.JobWorkers,
+		JobChunkShots:        sc.JobChunkShots,
+		JobTenantWeights:     sc.JobTenantWeights,
+		JobMaxPerTenant:      sc.JobMaxPerTenant,
 		Metrics:              cfg.reg,
 		Tracer:               cfg.tracer,
 	})
